@@ -1,0 +1,103 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations ------------------===//
+//
+// Sweeps the design parameters the paper's Section V fixes empirically:
+//   (1) the cost weight vector w (paper best: (5, 3, 1, 1, 1), with
+//       vectorization weights dominating),
+//   (2) the two readings of the thread-contribution term (the printed
+//       formula w5*F*L/N vs the prose w5*F*N/L; see DESIGN.md),
+//   (3) the number of scenarios kept when building the tree (paper: 8),
+//   (4) the scheduler's coefficient bound (the bounded nonnegative
+//       coefficient space).
+// Reported metric: geomean simulated speedup of infl over isl across a
+// representative operator set.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ops/OpFactory.h"
+
+using namespace pinj;
+
+namespace {
+
+std::vector<Kernel> representativeOps() {
+  std::vector<Kernel> Ops;
+  Ops.push_back(makeFusedMulSubMulTensorAdd(64));
+  Ops.push_back(makeHostileOrderCopy("tr2d", 1024, 1024, 1));
+  Ops.push_back(makeHostileOrderPermute3D("tr3d", 32, 256, 512, 2));
+  Ops.push_back(makeElementwiseChain("chain", 256, 256, 4, 3));
+  Ops.push_back(makeMiddlePermuted3D("mid", 32, 56, 128, 4));
+  Ops.push_back(makeReduceTail("red", 256, 512, 5));
+  Ops.push_back(makeSoftmaxLike("softmax", 256, 256));
+  return Ops;
+}
+
+double geomeanSpeedup(const PipelineOptions &Options) {
+  std::vector<double> Speedups;
+  for (const Kernel &K : representativeOps()) {
+    OperatorReport R = runOperator(K, Options);
+    Speedups.push_back(R.Isl.TimeUs / R.Infl.TimeUs);
+  }
+  return geomean(Speedups);
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablations (geomean infl speedup over isl on %zu "
+              "representative operators)\n\n",
+              representativeOps().size());
+
+  // (1) Weight vector sweep.
+  struct WeightConfig {
+    const char *Name;
+    double W1, W2, W3, W4, W5;
+  };
+  const WeightConfig Weights[] = {
+      {"paper (5,3,1,1,1)", 5, 3, 1, 1, 1},
+      {"no vector pref (0,0,1,1,1)", 0, 0, 1, 1, 1},
+      {"loads first (3,5,1,1,1)", 3, 5, 1, 1, 1},
+      {"stride only (0,0,1,0,0)", 0, 0, 1, 0, 0},
+      {"uniform (1,1,1,1,1)", 1, 1, 1, 1, 1},
+      {"heavy vector (10,6,1,1,1)", 10, 6, 1, 1, 1},
+  };
+  std::printf("weight vector sweep:\n");
+  for (const WeightConfig &W : Weights) {
+    PipelineOptions Options;
+    Options.Influence.Weights.W1 = W.W1;
+    Options.Influence.Weights.W2 = W.W2;
+    Options.Influence.Weights.W3 = W.W3;
+    Options.Influence.Weights.W4 = W.W4;
+    Options.Influence.Weights.W5 = W.W5;
+    std::printf("  %-28s %.3fx\n", W.Name, geomeanSpeedup(Options));
+  }
+
+  // (2) Thread-term reading.
+  std::printf("\nthread-contribution term:\n");
+  for (bool PaperFormula : {false, true}) {
+    PipelineOptions Options;
+    Options.Influence.Weights.PaperFormulaThreadTerm = PaperFormula;
+    std::printf("  %-28s %.3fx\n",
+                PaperFormula ? "printed formula w5*F*L/N"
+                             : "prose reading w5*F*N/L",
+                geomeanSpeedup(Options));
+  }
+
+  // (3) Scenario count.
+  std::printf("\nscenarios kept (paper: 8):\n");
+  for (unsigned MaxScenarios : {1u, 2u, 4u, 8u}) {
+    PipelineOptions Options;
+    Options.Influence.MaxScenarios = MaxScenarios;
+    std::printf("  %-28u %.3fx\n", MaxScenarios, geomeanSpeedup(Options));
+  }
+
+  // (4) Scheduling coefficient bound.
+  std::printf("\ncoefficient bound:\n");
+  for (Int Bound : {1, 2, 4, 8}) {
+    PipelineOptions Options;
+    Options.Sched.CoeffBound = Bound;
+    std::printf("  %-28lld %.3fx\n", static_cast<long long>(Bound),
+                geomeanSpeedup(Options));
+  }
+  return 0;
+}

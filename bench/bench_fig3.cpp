@@ -1,0 +1,46 @@
+//===- bench/bench_fig3.cpp - Reproduces the paper's Fig. 3 ---------------===//
+//
+// Builds and prints the influence constraint tree the non-linear
+// optimizer constructs for the running example: prioritized branches
+// (fusion-first, then relaxed variants), per-depth constraint sets on
+// the scheduling coefficients, and the vector mark on the innermost
+// node. Then reports which branch the scheduler realizes (the paper's
+// example: the first, fused branch succeeds).
+//
+//===----------------------------------------------------------------------===//
+
+#include "influence/TreeBuilder.h"
+#include "ir/Printer.h"
+#include "ops/OpFactory.h"
+#include "sched/Scheduler.h"
+
+#include <cstdio>
+
+using namespace pinj;
+
+int main() {
+  Kernel K = makeFusedMulSubMulTensorAdd(64);
+  std::printf("Input operator:\n\n%s\n", printKernel(K).c_str());
+
+  InfluenceOptions Options;
+  InfluenceTree Tree = buildInfluenceTree(K, Options);
+  std::printf("FIG. 3: influence constraint tree (branches in priority "
+              "order)\n\n%s\n",
+              Tree.str(K).c_str());
+
+  SchedulerOptions Sched;
+  SchedulerResult R = scheduleKernel(K, Sched, &Tree);
+  if (R.ReachedLeaf) {
+    std::printf("scheduler realized branch leaf: '%s'\n",
+                R.ReachedLeaf->Label.c_str());
+  } else {
+    std::printf("no branch feasible; plain scheduling used\n");
+  }
+  std::printf("backtracking: sibling moves=%u ancestor backtracks=%u "
+              "band breaks=%u scc cuts=%u (ILP solves=%u, failures=%u)\n",
+              R.Stats.SiblingMoves, R.Stats.AncestorBacktracks,
+              R.Stats.BandBreaks, R.Stats.SccCuts, R.Stats.IlpSolves,
+              R.Stats.IlpFailures);
+  std::printf("\nResulting schedule:\n%s", R.Sched.str(K).c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/bench_scheduler_perf.cpp - Scheduler wall-clock cost ----------===//
+//
+// google-benchmark timings of the scheduling construction itself (the
+// production concern behind the paper's integration in MindSpore/AKG):
+// plain vs influenced scheduling across operator families and sizes,
+// plus dependence analysis and the non-linear tree construction alone.
+//
+//===----------------------------------------------------------------------===//
+
+#include "influence/TreeBuilder.h"
+#include "ops/OpFactory.h"
+#include "sched/Scheduler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pinj;
+
+namespace {
+
+Kernel kernelForFamily(int Family, Int N) {
+  switch (Family) {
+  case 0:
+    return makeElementwiseChain("chain", N, N - 1, 4, 1);
+  case 1:
+    return makeHostileOrderCopy("hostile", N, N, 1);
+  case 2:
+    return makeFusedMulSubMulTensorAdd(N);
+  default:
+    return makeReduceTail("reduce", N, N, 1);
+  }
+}
+
+void BM_DependenceAnalysis(benchmark::State &State) {
+  Kernel K = kernelForFamily(State.range(0), State.range(1));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeDependences(K));
+}
+
+void BM_PlainScheduling(benchmark::State &State) {
+  Kernel K = kernelForFamily(State.range(0), State.range(1));
+  SchedulerOptions Options;
+  Options.SerializeSccs = true;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(scheduleKernel(K, Options));
+}
+
+void BM_TreeConstruction(benchmark::State &State) {
+  Kernel K = kernelForFamily(State.range(0), State.range(1));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildInfluenceTree(K, InfluenceOptions()));
+}
+
+void BM_InfluencedScheduling(benchmark::State &State) {
+  Kernel K = kernelForFamily(State.range(0), State.range(1));
+  InfluenceTree Tree = buildInfluenceTree(K, InfluenceOptions());
+  SchedulerOptions Options;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(scheduleKernel(K, Options, &Tree));
+}
+
+void BM_ChainSchedulingByLength(benchmark::State &State) {
+  Kernel K = makeElementwiseChain("chain", 64, 63,
+                                  static_cast<unsigned>(State.range(0)), 1);
+  SchedulerOptions Options;
+  Options.SerializeSccs = true;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(scheduleKernel(K, Options));
+  State.SetComplexityN(State.range(0));
+}
+
+void familyArgs(benchmark::internal::Benchmark *B) {
+  for (int Family = 0; Family != 4; ++Family)
+    for (Int N : {32, 64, 128})
+      B->Args({Family, N});
+}
+
+} // namespace
+
+BENCHMARK(BM_DependenceAnalysis)->Apply(familyArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlainScheduling)->Apply(familyArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeConstruction)->Apply(familyArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InfluencedScheduling)->Apply(familyArgs)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ChainSchedulingByLength)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - PolyInject in five minutes ---------------===//
+//
+// Builds a small fused operator, runs it through the full pipeline
+// (dependence analysis, influenced polyhedral scheduling, GPU mapping,
+// vectorization, simulation) and prints every artifact along the way.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Ast.h"
+#include "codegen/Vectorizer.h"
+#include "exec/Interpreter.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "pipeline/Pipeline.h"
+#include "poly/Dependence.h"
+
+#include <cstdio>
+
+using namespace pinj;
+
+int main() {
+  // 1. Describe a fused operator: bias-add followed by an activation.
+  //    Statements iterate rectangular domains; accesses are affine.
+  KernelBuilder Builder("bias_relu");
+  unsigned In = Builder.tensor("IN", {256, 512});
+  unsigned Bias = Builder.tensor("BIAS", {512});
+  unsigned Tmp = Builder.tensor("TMP", {256, 512});
+  unsigned Out = Builder.tensor("OUT", {256, 512});
+  Builder.stmt("ADD", {{"i", 256}, {"j", 512}})
+      .write(Tmp, {"i", "j"})
+      .read(In, {"i", "j"})
+      .read(Bias, {"j"})
+      .op(OpKind::Add);
+  Builder.stmt("ACT", {{"i", 256}, {"j", 512}})
+      .write(Out, {"i", "j"})
+      .read(Tmp, {"i", "j"})
+      .op(OpKind::Relu);
+  Kernel K = Builder.build();
+  std::printf("== Operator ==\n%s\n", printKernel(K).c_str());
+
+  // 2. Dependences: the polyhedral layer computes exact relations.
+  std::vector<DependenceRelation> Deps = computeDependences(K);
+  std::printf("== Dependences (%zu) ==\n", Deps.size());
+  for (const DependenceRelation &D : Deps)
+    std::printf("  %s\n", printDependence(K, D).c_str());
+
+  // 3. The one-call pipeline: all four of the paper's configurations.
+  PipelineOptions Options;
+  Options.Validate = true; // Execute and compare against original order.
+  OperatorReport Report = runOperator(K, Options);
+
+  std::printf("\n== Influenced schedule ==\n%s\n",
+              Report.Infl.Sched.str(K).c_str());
+  std::printf("== Generated CUDA-like kernel ==\n%s\n",
+              renderCuda(K, Report.Infl.Sched, Options.Mapping).c_str());
+
+  std::printf("== Simulated V100 times ==\n");
+  std::printf("  isl   : %8.2f us\n", Report.Isl.TimeUs);
+  std::printf("  tvm   : %8.2f us (%u launches)\n", Report.Tvm.TimeUs,
+              Report.Tvm.Launches);
+  std::printf("  novec : %8.2f us\n", Report.Novec.TimeUs);
+  std::printf("  infl  : %8.2f us (%.2fx over isl)\n", Report.Infl.TimeUs,
+              Report.Isl.TimeUs / Report.Infl.TimeUs);
+  std::printf("  schedule changed by influence: %s, vectorizable: %s, "
+              "semantics validated: %s\n",
+              Report.Influenced ? "yes" : "no",
+              Report.VecEligible ? "yes" : "no",
+              Report.Validated ? "yes" : "NO");
+  return Report.Validated ? 0 : 1;
+}

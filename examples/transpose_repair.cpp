@@ -1,0 +1,64 @@
+//===- examples/transpose_repair.cpp - Repairing layout-hostile loops -----===//
+//
+// The pattern behind the paper's large ResNet speedups: a fused
+// transpose chain hands the scheduler an operator that iterates in its
+// producer's order, so every access strides along the innermost loop.
+// A plain polyhedral scheduler has no layout cost model and keeps the
+// order; the influence cost model reorders the loops and vectorizes the
+// repaired innermost dimension. The example prints both mappings and
+// the simulated transaction counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Ast.h"
+#include "codegen/Vectorizer.h"
+#include "exec/Interpreter.h"
+#include "gpusim/GpuModel.h"
+#include "influence/AccessAnalysis.h"
+#include "ir/Printer.h"
+#include "ops/OpFactory.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace pinj;
+
+int main() {
+  Kernel K = makeHostileOrderPermute3D("nchw_boundary", 32, 256, 512, 7);
+  std::printf("== The operator (note the loop order vs the layout) ==\n%s\n",
+              printKernel(K).c_str());
+
+  // What the access analysis sees: per-iterator strides.
+  const Statement &S = K.Stmts[0];
+  std::vector<AccessStrides> Strides = analyzeStrides(K, S);
+  std::printf("== Linearized element strides per iterator ==\n");
+  for (unsigned A = 0; A != Strides.size(); ++A) {
+    std::printf("  %-3s %s:", Strides[A].IsWrite ? "st" : "ld",
+                K.Tensors[Strides[A].Acc->TensorId].Name.c_str());
+    for (unsigned I = 0; I != S.numIters(); ++I)
+      std::printf(" %s=%lld", S.IterNames[I].c_str(),
+                  static_cast<long long>(Strides[A].StridePerIter[I]));
+    std::printf("\n");
+  }
+
+  PipelineOptions Options;
+  OperatorReport R = runOperator(K, Options);
+
+  std::printf("\n== Reference mapping (strided along the lanes) ==\n%s\n",
+              renderCuda(K, R.Isl.Sched, Options.Mapping).c_str());
+  std::printf("== Influenced mapping (coalesced + float4) ==\n%s\n",
+              renderCuda(K, R.Infl.Sched, Options.Mapping).c_str());
+
+  std::printf("== Simulated V100 ==\n");
+  std::printf("  %-6s %12s %14s %12s\n", "config", "time(us)",
+              "transactions", "efficiency");
+  std::printf("  %-6s %12.2f %14.0f %11.0f%%\n", "isl", R.Isl.TimeUs,
+              R.Isl.Sim.Transactions, R.Isl.Sim.efficiency() * 100);
+  std::printf("  %-6s %12.2f %14.0f %11.0f%%\n", "novec", R.Novec.TimeUs,
+              R.Novec.Sim.Transactions, R.Novec.Sim.efficiency() * 100);
+  std::printf("  %-6s %12.2f %14.0f %11.0f%%\n", "infl", R.Infl.TimeUs,
+              R.Infl.Sim.Transactions, R.Infl.Sim.efficiency() * 100);
+  std::printf("  speedup over isl: %.2fx\n",
+              R.Isl.TimeUs / R.Infl.TimeUs);
+  return 0;
+}

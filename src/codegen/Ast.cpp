@@ -1,0 +1,214 @@
+//===- codegen/Ast.cpp ----------------------------------------------------===//
+
+#include "codegen/Ast.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace pinj;
+
+namespace {
+
+/// Recursive AST construction over schedule dimensions.
+class AstBuilder {
+public:
+  explicit AstBuilder(const MappedKernel &M) : M(M), K(*M.K) {}
+
+  std::unique_ptr<AstNode> build() {
+    std::vector<unsigned> All(K.Stmts.size());
+    for (unsigned S = 0; S != All.size(); ++S)
+      All[S] = S;
+    return buildDims(0, All);
+  }
+
+private:
+  /// The minimum date value of \p Stmt at dimension \p D (the shift for
+  /// constant rows, the shift at iterator zero for unit rows).
+  Int minDateAt(unsigned Stmt, unsigned D) const {
+    return analyzeRow(K, M.Sched, Stmt, D).Shift;
+  }
+
+  /// Orders a constant-row statement against the loop statements at a
+  /// mixed dimension by comparing dates on subsequent dimensions.
+  bool constGoesBeforeLoop(unsigned ConstStmt,
+                           const std::vector<unsigned> &LoopStmts,
+                           unsigned D) const {
+    for (unsigned Later = D + 1, E = M.Sched.numDims(); Later != E;
+         ++Later) {
+      Int ConstDate = minDateAt(ConstStmt, Later);
+      Int LoopDate = minDateAt(LoopStmts.front(), Later);
+      for (unsigned S : LoopStmts)
+        LoopDate = std::min(LoopDate, minDateAt(S, Later));
+      if (ConstDate != LoopDate)
+        return ConstDate < LoopDate;
+    }
+    return true;
+  }
+
+  std::unique_ptr<AstNode> makeStmtLeaves(const std::vector<unsigned> &S) {
+    auto Node = std::make_unique<AstNode>();
+    Node->Kind = AstNode::Seq;
+    for (unsigned Stmt : S) {
+      auto Leaf = std::make_unique<AstNode>();
+      Leaf->Kind = AstNode::Stmt;
+      Leaf->StmtId = Stmt;
+      Node->Children.push_back(std::move(Leaf));
+    }
+    return Node;
+  }
+
+  std::unique_ptr<AstNode> buildDims(unsigned D,
+                                     const std::vector<unsigned> &Stmts) {
+    if (Stmts.empty())
+      return nullptr;
+    if (D == M.Sched.numDims())
+      return makeStmtLeaves(Stmts);
+
+    // Partition by row shape at this dimension.
+    std::vector<unsigned> LoopStmts, ConstStmts;
+    for (unsigned S : Stmts) {
+      RowShape Shape = analyzeRow(K, M.Sched, S, D);
+      assert(Shape.Kind != RowShape::Other && "non-generatable row");
+      (Shape.Kind == RowShape::Unit ? LoopStmts : ConstStmts).push_back(S);
+    }
+
+    if (LoopStmts.empty()) {
+      // Pure constant dimension: a statement sequence ordered by date.
+      std::map<Int, std::vector<unsigned>> Groups;
+      for (unsigned S : ConstStmts)
+        Groups[minDateAt(S, D)].push_back(S);
+      if (Groups.size() == 1)
+        return buildDims(D + 1, ConstStmts);
+      auto Node = std::make_unique<AstNode>();
+      Node->Kind = AstNode::Seq;
+      for (auto &[Date, Group] : Groups)
+        if (auto Child = buildDims(D + 1, Group))
+          Node->Children.push_back(std::move(Child));
+      return Node;
+    }
+
+    // Loop over this dimension, with constant-row statements placed
+    // before or after according to subsequent dates.
+    std::vector<unsigned> Before, After;
+    for (unsigned S : ConstStmts)
+      (constGoesBeforeLoop(S, LoopStmts, D) ? Before : After).push_back(S);
+
+    auto LoopNode = std::make_unique<AstNode>();
+    LoopNode->Kind = AstNode::Loop;
+    LoopNode->Dim = D;
+    LoopNode->Extent = M.Dims[D].Extent;
+    LoopNode->Role = M.Dims[D].Role;
+    LoopNode->VectorWidth = M.Dims[D].VectorWidth;
+    if (auto Body = buildDims(D + 1, LoopStmts))
+      LoopNode->Children.push_back(std::move(Body));
+
+    if (Before.empty() && After.empty())
+      return LoopNode;
+    auto Node = std::make_unique<AstNode>();
+    Node->Kind = AstNode::Seq;
+    if (auto Pre = buildDims(D + 1, Before))
+      Node->Children.push_back(std::move(Pre));
+    Node->Children.push_back(std::move(LoopNode));
+    if (auto Post = buildDims(D + 1, After))
+      Node->Children.push_back(std::move(Post));
+    return Node;
+  }
+
+  const MappedKernel &M;
+  const Kernel &K;
+};
+
+/// Loop variable name for a schedule dimension: the name of any bound
+/// statement iterator, or a synthetic one.
+std::string dimVarName(const MappedKernel &M, unsigned D) {
+  const Kernel &K = *M.K;
+  for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt)
+    for (unsigned I = 0, NI = K.Stmts[Stmt].numIters(); I != NI; ++I)
+      if (M.IterDim[Stmt][I] == static_cast<int>(D))
+        return K.Stmts[Stmt].IterNames[I];
+  return "t" + std::to_string(D);
+}
+
+/// Renders one statement with its iterators renamed to loop variables.
+std::string renderStmt(const MappedKernel &M, unsigned StmtId) {
+  const Kernel &K = *M.K;
+  const Statement &S = K.Stmts[StmtId];
+  // Substitute iterator names by their schedule loop-variable names.
+  std::vector<std::string> Names(S.numIters());
+  for (unsigned I = 0, E = S.numIters(); I != E; ++I) {
+    int D = M.IterDim[StmtId][I];
+    Names[I] = D < 0 ? S.IterNames[I] : dimVarName(M, D);
+  }
+  auto renderAccess = [&](const Access &A) {
+    std::string Out = K.Tensors[A.TensorId].Name;
+    for (const IntVector &Index : A.Indices)
+      Out += "[" + printAffineRow(Index, Names, K.ParamNames) + "]";
+    return Out;
+  };
+  std::string Out =
+      S.Name + ": " + renderAccess(S.Write) + " = " + opKindName(S.Kind) +
+      "(";
+  for (unsigned R = 0, E = S.Reads.size(); R != E; ++R) {
+    if (R != 0)
+      Out += ", ";
+    Out += renderAccess(S.Reads[R]);
+  }
+  return Out + ");";
+}
+
+void printNode(const MappedKernel &M, const AstNode &Node, unsigned Indent,
+               std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  switch (Node.Kind) {
+  case AstNode::Seq:
+    for (const auto &Child : Node.Children)
+      printNode(M, *Child, Indent, Out);
+    return;
+  case AstNode::Stmt:
+    Out += Pad + renderStmt(M, Node.StmtId) + "\n";
+    return;
+  case AstNode::Loop: {
+    std::string Var = dimVarName(M, Node.Dim);
+    const char *Keyword = "for";
+    switch (Node.Role) {
+    case DimRole::Block:
+    case DimRole::Thread:
+      Keyword = "forall";
+      break;
+    case DimRole::Vector:
+      Keyword = "forvec";
+      break;
+    default:
+      break;
+    }
+    Out += Pad + std::string(Keyword) + " (" + Var + " = 0; " + Var +
+           " < " + std::to_string(Node.Extent) + "; " + Var + "++)";
+    if (Node.Role == DimRole::Block)
+      Out += "  // -> blockIdx";
+    else if (Node.Role == DimRole::Thread)
+      Out += "  // -> threadIdx";
+    else if (Node.Role == DimRole::Vector)
+      Out += "  // -> float" + std::to_string(Node.VectorWidth);
+    Out += "\n";
+    for (const auto &Child : Node.Children)
+      printNode(M, *Child, Indent + 1, Out);
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::unique_ptr<AstNode> pinj::buildAst(const MappedKernel &M) {
+  return AstBuilder(M).build();
+}
+
+std::string pinj::printAst(const MappedKernel &M) {
+  std::unique_ptr<AstNode> Root = buildAst(M);
+  std::string Out;
+  if (Root)
+    printNode(M, *Root, 0, Out);
+  return Out;
+}

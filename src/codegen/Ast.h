@@ -1,0 +1,58 @@
+//===- codegen/Ast.h - Loop AST construction --------------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds a loop AST from a mapped schedule for printing and inspection.
+/// The backend accepts the schedules this project's schedulers emit on
+/// the operator domain: every row is a unit iterator row or a constant
+/// row; scalar dimensions become statement sequences, mixed dimensions
+/// place constant-row statements before or after the loop according to
+/// the following dimensions' dates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_CODEGEN_AST_H
+#define POLYINJECT_CODEGEN_AST_H
+
+#include "codegen/Mapping.h"
+
+#include <memory>
+
+namespace pinj {
+
+/// A node of the generated loop AST.
+struct AstNode {
+  enum KindTy { Loop, Stmt, Seq };
+
+  KindTy Kind = Seq;
+  // Loop fields.
+  unsigned Dim = 0;
+  Int Extent = 1;
+  DimRole Role = DimRole::Seq;
+  unsigned VectorWidth = 0;
+  // Stmt fields.
+  unsigned StmtId = 0;
+
+  std::vector<std::unique_ptr<AstNode>> Children;
+};
+
+/// Builds the loop AST of \p M. Aborts on non-generatable schedules
+/// (callers check isGeneratableSchedule first).
+std::unique_ptr<AstNode> buildAst(const MappedKernel &M);
+
+/// Renders the AST as an indented pseudo-code loop nest with role
+/// markers (forall/for/forvec), in the style of the paper's Fig. 2.
+std::string printAst(const MappedKernel &M);
+
+/// Renders the mapped kernel as CUDA-like source: grid/block binding,
+/// per-thread loops, and explicit float2/float4 accesses on vectorized
+/// statements.
+std::string printCuda(const MappedKernel &M);
+
+} // namespace pinj
+
+#endif // POLYINJECT_CODEGEN_AST_H

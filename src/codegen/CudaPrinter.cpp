@@ -1,0 +1,179 @@
+//===- codegen/CudaPrinter.cpp --------------------------------------------===//
+
+#include "codegen/Ast.h"
+#include "influence/AccessAnalysis.h"
+#include "ir/Printer.h"
+
+using namespace pinj;
+
+namespace {
+
+std::string dimVarNameCuda(const MappedKernel &M, unsigned D) {
+  const Kernel &K = *M.K;
+  for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt)
+    for (unsigned I = 0, NI = K.Stmts[Stmt].numIters(); I != NI; ++I)
+      if (M.IterDim[Stmt][I] == static_cast<int>(D))
+        return K.Stmts[Stmt].IterNames[I];
+  return "t" + std::to_string(D);
+}
+
+/// Renders one statement inside an optional vector loop: accesses that
+/// are contiguous in the vectorized iterator become float2/float4
+/// loads/stores, constant ones become broadcasts, everything else stays
+/// scalar (vector and scalar types mix, as in the paper).
+std::string renderCudaStmt(const MappedKernel &M, unsigned StmtId,
+                           int VectorDim, unsigned Width) {
+  const Kernel &K = *M.K;
+  const Statement &S = K.Stmts[StmtId];
+  std::vector<std::string> Names(S.numIters());
+  int VectorIter = -1;
+  for (unsigned I = 0, E = S.numIters(); I != E; ++I) {
+    int D = M.IterDim[StmtId][I];
+    Names[I] = D < 0 ? S.IterNames[I] : dimVarNameCuda(M, D);
+    if (D == VectorDim)
+      VectorIter = static_cast<int>(I);
+  }
+  std::vector<AccessStrides> Strides = analyzeStrides(K, S);
+  auto renderAccess = [&](const Access &A, unsigned StrideIdx) {
+    std::string Plain = K.Tensors[A.TensorId].Name;
+    for (const IntVector &Index : A.Indices)
+      Plain += "[" + printAffineRow(Index, Names, K.ParamNames) + "]";
+    if (VectorIter < 0 || Width == 0)
+      return Plain;
+    const AccessStrides &Info = Strides[StrideIdx];
+    std::string VecTy = "float" + std::to_string(Width);
+    if (Info.isContiguousIn(VectorIter) &&
+        isVectorizableAccess(Info, VectorIter, Width))
+      return "*(" + VecTy + " *)&" + Plain;
+    if (Info.isConstantIn(VectorIter) && !A.IsWrite)
+      return "(" + VecTy + ")(" + Plain + ")"; // broadcast
+    return Plain; // scalar replay inside the vector loop
+  };
+  std::string Out = renderAccess(S.Write, 0) + " = " +
+                    std::string(opKindName(S.Kind)) + "(";
+  for (unsigned R = 0, E = S.Reads.size(); R != E; ++R) {
+    if (R != 0)
+      Out += ", ";
+    Out += renderAccess(S.Reads[R], R + 1);
+  }
+  return Out + ");  // " + S.Name;
+}
+
+class CudaEmitter {
+public:
+  explicit CudaEmitter(const MappedKernel &M) : M(M), K(*M.K) {}
+
+  std::string run() {
+    emitSignature();
+    emitBindings();
+    std::unique_ptr<AstNode> Root = buildAst(M);
+    if (Root)
+      emitNode(*Root, 1, /*VectorDim=*/-1, /*Width=*/0);
+    for (unsigned G = 0; G != Guards; ++G)
+      Out += "  }\n";
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  void emitSignature() {
+    Out += "// fused operator '" + K.Name + "'\n";
+    Out += "// grid = " + std::to_string(M.numBlocks()) +
+           " block(s), block = " + std::to_string(M.threadsPerBlock()) +
+           " thread(s)\n";
+    Out += "__global__ void " + K.Name + "_kernel(";
+    for (unsigned T = 0, E = K.Tensors.size(); T != E; ++T) {
+      if (T != 0)
+        Out += ", ";
+      Out += "float *" + K.Tensors[T].Name;
+    }
+    Out += ") {\n";
+  }
+
+  void emitBindings() {
+    // Thread dims: innermost schedule dim gets threadIdx.x.
+    const char *Axes[3] = {"x", "y", "z"};
+    unsigned ThreadAxis = 0, BlockAxis = 0;
+    for (unsigned D = M.Dims.size(); D-- > 0;) {
+      const DimMapping &Dim = M.Dims[D];
+      bool IsVector = Dim.Role == DimRole::Vector;
+      if ((Dim.Role != DimRole::Thread && !IsVector) || ThreadAxis >= 3)
+        continue;
+      std::string Var = dimVarNameCuda(M, D);
+      std::string Scale =
+          IsVector ? " * " + std::to_string(Dim.VectorWidth) : "";
+      if (Dim.BlockFactor > 1) {
+        Out += "  const int " + Var + " = (blockIdx." +
+               Axes[std::min(BlockAxis, 2u)] + " * " +
+               std::to_string(Dim.ThreadCount) + " + threadIdx." +
+               Axes[ThreadAxis] + ")" + Scale + ";\n";
+        Out += "  if (" + Var + " < " + std::to_string(Dim.Extent) +
+               ") {\n";
+        ++Guards;
+        ++BlockAxis;
+      } else {
+        Out += "  const int " + Var + " = threadIdx." + Axes[ThreadAxis] +
+               Scale + ";\n";
+      }
+      ++ThreadAxis;
+    }
+    for (unsigned D = M.Dims.size(); D-- > 0;) {
+      const DimMapping &Dim = M.Dims[D];
+      if (Dim.Role != DimRole::Block)
+        continue;
+      Out += "  const int " + dimVarNameCuda(M, D) + " = blockIdx." +
+             Axes[std::min(BlockAxis, 2u)] + ";\n";
+      ++BlockAxis;
+    }
+  }
+
+  void emitNode(const AstNode &Node, unsigned Indent, int VectorDim,
+                unsigned Width) {
+    std::string Pad((Indent + Guards) * 2, ' ');
+    switch (Node.Kind) {
+    case AstNode::Seq:
+      for (const auto &Child : Node.Children)
+        emitNode(*Child, Indent, VectorDim, Width);
+      return;
+    case AstNode::Stmt:
+      Out += Pad + renderCudaStmt(M, Node.StmtId, VectorDim, Width) + "\n";
+      return;
+    case AstNode::Loop: {
+      if (Node.Role == DimRole::Block || Node.Role == DimRole::Thread) {
+        // Bound above; just descend.
+        for (const auto &Child : Node.Children)
+          emitNode(*Child, Indent, VectorDim, Width);
+        return;
+      }
+      if (Node.Role == DimRole::Vector) {
+        // Strip-mined and thread-mapped above; each thread issues one
+        // vector access group at its lane's base coordinate.
+        for (const auto &Child : Node.Children)
+          emitNode(*Child, Indent, static_cast<int>(Node.Dim),
+                   Node.VectorWidth);
+        return;
+      }
+      std::string Var = dimVarNameCuda(M, Node.Dim);
+      {
+        Out += Pad + "for (int " + Var + " = 0; " + Var + " < " +
+               std::to_string(Node.Extent) + "; " + Var + "++) {\n";
+        for (const auto &Child : Node.Children)
+          emitNode(*Child, Indent + 1, VectorDim, Width);
+      }
+      Out += Pad + "}\n";
+      return;
+    }
+    }
+  }
+
+  const MappedKernel &M;
+  const Kernel &K;
+  std::string Out;
+  unsigned Guards = 0;
+};
+
+} // namespace
+
+std::string pinj::printCuda(const MappedKernel &M) {
+  return CudaEmitter(M).run();
+}

@@ -1,0 +1,38 @@
+//===- codegen/Vectorizer.h - Vector mark finalization ----------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend vectorization decision (the paper's second AKG
+/// modification): after scheduling, each vector-marked dimension is
+/// checked against the final schedule — the dimension must be the
+/// statement's innermost loop, bound by a unit row, loop-parallel with
+/// respect to the statement's own dependences, with an extent divisible
+/// by the lane count and vectorizable accesses. Statements are added or
+/// removed from the mark accordingly, the width is narrowed when needed
+/// (4 -> 2), and the mark is cleared when nothing survives. The
+/// simulator and printer then treat the surviving statements' loads and
+/// stores as float2/float4 operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_CODEGEN_VECTORIZER_H
+#define POLYINJECT_CODEGEN_VECTORIZER_H
+
+#include "sched/Schedule.h"
+
+namespace pinj {
+
+/// Rechecks and finalizes the vector marks of \p S against the scheduled
+/// kernel \p K. \returns the number of dimensions left vector-marked.
+/// With \p DisableVectorization the marks are simply cleared (the
+/// paper's "novec" configuration).
+unsigned finalizeVectorMarks(const Kernel &K, Schedule &S,
+                             bool DisableVectorization = false);
+
+} // namespace pinj
+
+#endif // POLYINJECT_CODEGEN_VECTORIZER_H

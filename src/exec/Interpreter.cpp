@@ -1,0 +1,162 @@
+//===- exec/Interpreter.cpp -----------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pinj;
+
+namespace {
+
+double applyOp(OpKind Kind, const double *R) {
+  switch (Kind) {
+  case OpKind::Assign:
+    return R[0];
+  case OpKind::Add:
+    return R[0] + R[1];
+  case OpKind::Sub:
+    return R[0] - R[1];
+  case OpKind::Mul:
+    return R[0] * R[1];
+  case OpKind::Div:
+    return R[0] / R[1];
+  case OpKind::Max:
+    return std::max(R[0], R[1]);
+  case OpKind::Min:
+    return std::min(R[0], R[1]);
+  case OpKind::Relu:
+    return std::max(R[0], 0.0);
+  case OpKind::Exp:
+    return std::exp(R[0]);
+  case OpKind::Rsqrt:
+    return 1.0 / std::sqrt(std::abs(R[0]) + 1.0);
+  case OpKind::Neg:
+    return -R[0];
+  case OpKind::Fma:
+    return R[0] + R[1] * R[2];
+  case OpKind::MulSub:
+    return (R[0] - R[1]) * R[2];
+  }
+  fatalError("unknown op kind");
+}
+
+/// Flattened element offset of \p A for iteration \p Iters.
+Int flattenAccess(const Kernel &K, const Statement &S, const Access &A,
+                  const IntVector &Iters) {
+  const Tensor &T = K.Tensors[A.TensorId];
+  std::vector<Int> Strides = T.strides();
+  Int Offset = 0;
+  for (unsigned D = 0, E = A.Indices.size(); D != E; ++D) {
+    const IntVector &Row = A.Indices[D];
+    Int Index = Row.back();
+    for (unsigned I = 0, NI = S.numIters(); I != NI; ++I)
+      Index += Row[I] * Iters[I];
+    assert(Index >= 0 && Index < T.Shape[D] && "access out of bounds");
+    Offset += Index * Strides[D];
+  }
+  return Offset;
+}
+
+void executeInstance(const Kernel &K, unsigned Stmt, const IntVector &Iters,
+                     ExecBuffers &Buffers) {
+  const Statement &S = K.Stmts[Stmt];
+  double Reads[3] = {0, 0, 0};
+  for (unsigned R = 0, E = S.Reads.size(); R != E; ++R)
+    Reads[R] = Buffers.Tensors[S.Reads[R].TensorId]
+                   [flattenAccess(K, S, S.Reads[R], Iters)];
+  Buffers.Tensors[S.Write.TensorId][flattenAccess(K, S, S.Write, Iters)] =
+      applyOp(S.Kind, Reads);
+}
+
+/// Walks the full iteration domain of \p S in row-major (original) order.
+template <typename Fn>
+void forEachIteration(const Statement &S, Fn &&Callback) {
+  IntVector Iters(S.numIters(), 0);
+  for (;;) {
+    Callback(Iters);
+    unsigned D = S.numIters();
+    while (D-- > 0) {
+      if (++Iters[D] < S.Extents[D])
+        break;
+      Iters[D] = 0;
+      if (D == 0)
+        return;
+    }
+    if (S.numIters() == 0)
+      return;
+  }
+}
+
+} // namespace
+
+ExecBuffers pinj::makeInputs(const Kernel &K, unsigned Seed) {
+  ExecBuffers Buffers;
+  unsigned State = Seed * 2654435761u + 12345u;
+  for (const Tensor &T : K.Tensors) {
+    std::vector<double> Data(T.numElements());
+    for (double &V : Data) {
+      State = State * 1664525u + 1013904223u;
+      V = static_cast<double>((State >> 8) % 2048) / 256.0 - 4.0;
+    }
+    Buffers.Tensors.push_back(std::move(Data));
+  }
+  return Buffers;
+}
+
+void pinj::runOriginal(const Kernel &K, ExecBuffers &Buffers) {
+  for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt)
+    forEachIteration(K.Stmts[Stmt], [&](const IntVector &Iters) {
+      executeInstance(K, Stmt, Iters, Buffers);
+    });
+}
+
+void pinj::runScheduled(const Kernel &K, const Schedule &S,
+                        ExecBuffers &Buffers) {
+  struct Instance {
+    IntVector Date;
+    unsigned Stmt;
+    IntVector Iters;
+  };
+  std::vector<Instance> Instances;
+  for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt)
+    forEachIteration(K.Stmts[Stmt], [&](const IntVector &Iters) {
+      Instances.push_back({S.apply(K, Stmt, Iters, {}), Stmt, Iters});
+    });
+  std::stable_sort(Instances.begin(), Instances.end(),
+                   [](const Instance &A, const Instance &B) {
+                     if (A.Date != B.Date)
+                       return A.Date < B.Date;
+                     if (A.Stmt != B.Stmt)
+                       return A.Stmt < B.Stmt;
+                     return A.Iters < B.Iters;
+                   });
+  for (const Instance &I : Instances)
+    executeInstance(K, I.Stmt, I.Iters, Buffers);
+}
+
+bool pinj::buffersAlmostEqual(const ExecBuffers &A, const ExecBuffers &B,
+                              double Tolerance) {
+  if (A.Tensors.size() != B.Tensors.size())
+    return false;
+  for (unsigned T = 0, E = A.Tensors.size(); T != E; ++T) {
+    if (A.Tensors[T].size() != B.Tensors[T].size())
+      return false;
+    for (unsigned I = 0, N = A.Tensors[T].size(); I != N; ++I) {
+      double X = A.Tensors[T][I], Y = B.Tensors[T][I];
+      double Scale = std::max({1.0, std::abs(X), std::abs(Y)});
+      if (std::abs(X - Y) > Tolerance * Scale)
+        return false;
+    }
+  }
+  return true;
+}
+
+bool pinj::scheduleIsSemanticallyEqual(const Kernel &K, const Schedule &S,
+                                       unsigned Seed) {
+  ExecBuffers Reference = makeInputs(K, Seed);
+  ExecBuffers Transformed = Reference;
+  runOriginal(K, Reference);
+  runScheduled(K, S, Transformed);
+  return buffersAlmostEqual(Reference, Transformed);
+}

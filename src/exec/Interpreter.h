@@ -1,0 +1,53 @@
+//===- exec/Interpreter.h - Reference and scheduled execution ---*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sequential interpreter over real buffers. Running a kernel in its
+/// original statement/loop order and in the order dictated by a schedule
+/// (sorting every statement instance by its multidimensional logical
+/// date) and comparing the outputs validates end to end that a schedule
+/// preserves the program semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_EXEC_INTERPRETER_H
+#define POLYINJECT_EXEC_INTERPRETER_H
+
+#include "ir/Kernel.h"
+#include "sched/Schedule.h"
+
+namespace pinj {
+
+/// One buffer per kernel tensor, in declaration order.
+struct ExecBuffers {
+  std::vector<std::vector<double>> Tensors;
+};
+
+/// Allocates buffers for \p K and fills them with a deterministic
+/// pseudo-random pattern derived from \p Seed.
+ExecBuffers makeInputs(const Kernel &K, unsigned Seed);
+
+/// Executes \p K in the original program order.
+void runOriginal(const Kernel &K, ExecBuffers &Buffers);
+
+/// Executes \p K in the order defined by \p S (all statement instances
+/// sorted by logical date; ties are semantically unordered and broken
+/// deterministically).
+void runScheduled(const Kernel &K, const Schedule &S, ExecBuffers &Buffers);
+
+/// Elementwise comparison with relative/absolute tolerance.
+bool buffersAlmostEqual(const ExecBuffers &A, const ExecBuffers &B,
+                        double Tolerance = 1e-9);
+
+/// Convenience: returns true if executing \p K under \p S produces the
+/// same buffers as the original order for a seeded random input.
+bool scheduleIsSemanticallyEqual(const Kernel &K, const Schedule &S,
+                                 unsigned Seed = 1);
+
+} // namespace pinj
+
+#endif // POLYINJECT_EXEC_INTERPRETER_H

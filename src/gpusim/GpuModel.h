@@ -1,0 +1,93 @@
+//===- gpusim/GpuModel.h - Analytic GPU performance model -------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stand-in for the paper's Tesla V100 + nvprof measurements: a
+/// warp-level memory-transaction model. Lanes of a warp issue loads and
+/// stores; addresses are grouped into 32-byte sectors (coalescing);
+/// explicit vector types turn four scalar accesses into one 64/128-bit
+/// lane access. Kernel time is the maximum of an analytic bandwidth term
+/// (transactions x sector size / effective bandwidth) and an instruction
+/// issue term, plus a launch overhead — the regime the paper's
+/// bandwidth-bound fused operators live in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_GPUSIM_GPUMODEL_H
+#define POLYINJECT_GPUSIM_GPUMODEL_H
+
+#include "codegen/Mapping.h"
+
+namespace pinj {
+
+/// Machine parameters; defaults approximate a Tesla V100 (PCIe).
+struct GpuModel {
+  unsigned WarpSize = 32;
+  unsigned SectorBytes = 32;
+  double PeakBandwidthGBs = 900.0;  ///< HBM2.
+  double IssueRateGops = 4000.0;    ///< Scalar instruction issue, whole GPU.
+  double LaunchOverheadUs = 4.0;    ///< Per kernel launch.
+  /// Memory requests a warp keeps in flight (latency hiding).
+  double OutstandingRequestsPerWarp = 6.0;
+  /// Bytes in flight at which half the peak bandwidth is reached
+  /// (~bandwidth x latency scale); the saturation curve is x / (1 + x).
+  double HalfSaturationBytes = 96.0 * 1024.0;
+  /// Bandwidth efficiency floor for tiny launches.
+  double MinEfficiency = 0.02;
+  /// DRAM/issue efficiency of narrow accesses relative to 128-bit ones:
+  /// a scalar-float kernel reaches NarrowAccessEfficiency of the
+  /// bandwidth a float4 kernel reaches (measured ~0.85-0.9 on V100).
+  double NarrowAccessEfficiency = 0.85;
+
+  /// Effective bandwidth fraction for a kernel keeping \p Warps warps
+  /// resident with \p BytesPerRequest bytes per warp-level request and
+  /// an average per-lane access size of \p BytesPerLane.
+  double bandwidthEfficiency(double Warps, double BytesPerRequest,
+                             double BytesPerLane) const {
+    double InFlight = Warps * OutstandingRequestsPerWarp * BytesPerRequest;
+    double X =
+        HalfSaturationBytes > 0 ? InFlight / HalfSaturationBytes : 1.0;
+    double Fraction = X / (1.0 + X);
+    // Wide (64/128-bit) lane accesses use DRAM bursts and the LSU
+    // pipeline better; interpolate between narrow and full efficiency.
+    double LaneScale = BytesPerLane >= 16.0 ? 1.0 : BytesPerLane / 16.0;
+    Fraction *=
+        NarrowAccessEfficiency + (1.0 - NarrowAccessEfficiency) * LaneScale;
+    return Fraction < MinEfficiency ? MinEfficiency : Fraction;
+  }
+};
+
+/// Simulation result for one kernel launch.
+struct KernelSim {
+  double TimeUs = 0;
+  double MemTimeUs = 0;
+  double ComputeTimeUs = 0;
+  double Transactions = 0;     ///< 32B sector transactions.
+  double TransactionBytes = 0; ///< Transactions x SectorBytes.
+  double UsefulBytes = 0;      ///< Bytes the program actually touches.
+  double MemInstructions = 0;  ///< Load/store instructions issued.
+  double ComputeInstructions = 0;
+  double Warps = 0;
+
+  /// Fraction of transferred bytes the program uses (coalescing
+  /// quality).
+  double efficiency() const {
+    return TransactionBytes > 0 ? UsefulBytes / TransactionBytes : 1.0;
+  }
+};
+
+/// Simulates one mapped kernel on \p Model.
+KernelSim simulateKernel(const MappedKernel &M, const GpuModel &Model);
+
+/// Counts the 32-byte sectors touched by a set of per-lane byte accesses
+/// (address, size). Exposed for unit testing the coalescing rules.
+unsigned countSectors(const std::vector<std::pair<Int, unsigned>> &Accesses,
+                      unsigned SectorBytes = 32);
+
+} // namespace pinj
+
+#endif // POLYINJECT_GPUSIM_GPUMODEL_H

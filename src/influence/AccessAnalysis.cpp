@@ -1,0 +1,64 @@
+//===- influence/AccessAnalysis.cpp ---------------------------------------===//
+
+#include "influence/AccessAnalysis.h"
+
+using namespace pinj;
+
+std::vector<AccessStrides> pinj::analyzeStrides(const Kernel &K,
+                                                const Statement &S) {
+  assert(K.numParams() == 0 &&
+         "stride analysis requires concrete tensor shapes");
+  std::vector<AccessStrides> Result;
+  for (const Access *A : S.allAccesses()) {
+    const Tensor &T = K.Tensors[A->TensorId];
+    std::vector<Int> TensorStrides = T.strides();
+    AccessStrides Info;
+    Info.Acc = A;
+    Info.IsWrite = A->IsWrite;
+    Info.StridePerIter.assign(S.numIters(), 0);
+    for (unsigned D = 0, E = A->Indices.size(); D != E; ++D) {
+      const IntVector &Index = A->Indices[D];
+      for (unsigned I = 0, NI = S.numIters(); I != NI; ++I)
+        Info.StridePerIter[I] = checkedAdd(
+            Info.StridePerIter[I], checkedMul(Index[I], TensorStrides[D]));
+      Info.ConstOffset =
+          checkedAdd(Info.ConstOffset, checkedMul(Index.back(),
+                                                  TensorStrides[D]));
+    }
+    Result.push_back(std::move(Info));
+  }
+  return Result;
+}
+
+bool pinj::isVectorizableAccess(const AccessStrides &A, unsigned Iter,
+                                unsigned Width) {
+  assert((Width == 2 || Width == 4) && "vector width must be 2 or 4");
+  if (A.isConstantIn(Iter))
+    return !A.IsWrite; // A constant load broadcasts; a store conflicts.
+  if (!A.isContiguousIn(Iter))
+    return false;
+  // Alignment: the lane-group base address must be a multiple of Width
+  // for every value of the other iterators.
+  if (A.ConstOffset % Width != 0)
+    return false;
+  for (unsigned I = 0, E = A.StridePerIter.size(); I != E; ++I)
+    if (I != Iter && A.StridePerIter[I] % Width != 0)
+      return false;
+  return true;
+}
+
+unsigned pinj::bestVectorWidth(const Statement &S,
+                               const std::vector<AccessStrides> &Strides,
+                               unsigned Iter) {
+  for (unsigned Width : {4u, 2u}) {
+    if (S.Extents[Iter] % Width != 0)
+      continue; // Condition (b): size must divide into vectors.
+    // Condition (c): as many accesses as possible, at least the write or
+    // one load, must be vectorizable; require at least one non-constant
+    // vectorizable access so that vector types actually pay off.
+    for (const AccessStrides &A : Strides)
+      if (!A.isConstantIn(Iter) && isVectorizableAccess(A, Iter, Width))
+        return Width;
+  }
+  return 0;
+}

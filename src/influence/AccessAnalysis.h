@@ -1,0 +1,70 @@
+//===- influence/AccessAnalysis.h - Stride and vector analysis --*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-linear optimizer's view of memory accesses (paper Section V):
+/// per-iterator linearized strides under the row-major tensor layout and
+/// the vectorizability conditions (a)-(c) for explicit vector types —
+/// accesses must be aligned and constant or contiguous along the chosen
+/// innermost dimension. This analysis is deliberately non-affine (it
+/// knows array sizes and memory layout), which is exactly what the
+/// polyhedral scheduler cannot express and why constraints are injected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_INFLUENCE_ACCESSANALYSIS_H
+#define POLYINJECT_INFLUENCE_ACCESSANALYSIS_H
+
+#include "ir/Kernel.h"
+
+namespace pinj {
+
+/// Stride information of one access of one statement.
+struct AccessStrides {
+  const Access *Acc = nullptr;
+  bool IsWrite = false;
+  /// Linearized element stride contributed by each statement iterator:
+  /// the coefficient of the iterator in the flattened row-major address.
+  std::vector<Int> StridePerIter;
+  /// Constant part of the flattened address (elements).
+  Int ConstOffset = 0;
+
+  /// True if the access does not depend on iterator \p Iter.
+  bool isConstantIn(unsigned Iter) const {
+    return StridePerIter[Iter] == 0;
+  }
+  /// True if consecutive values of \p Iter touch consecutive elements.
+  bool isContiguousIn(unsigned Iter) const {
+    return StridePerIter[Iter] == 1;
+  }
+};
+
+/// Stride analysis for every access of one statement. Only valid for
+/// kernels without symbolic parameters (the operator library's case);
+/// parametric index expressions make strides non-constant.
+std::vector<AccessStrides> analyzeStrides(const Kernel &K,
+                                          const Statement &S);
+
+/// Checks paper Section V conditions (b) and (c) for access \p A when
+/// iterator \p Iter becomes the innermost, vectorized dimension with
+/// \p Width lanes (2 or 4): the access must be constant or contiguous in
+/// \p Iter and all lane groups must be Width-aligned (constant offset and
+/// every other iterator's stride divisible by Width).
+bool isVectorizableAccess(const AccessStrides &A, unsigned Iter,
+                          unsigned Width);
+
+/// The widest vector width in {4, 2} usable for statement \p S on
+/// iterator \p Iter: the extent must be divisible by the width
+/// (condition (b)) and at least one access must be vectorizable
+/// (condition (c)). \returns 0 when vectorization is not possible.
+unsigned bestVectorWidth(const Statement &S,
+                         const std::vector<AccessStrides> &Strides,
+                         unsigned Iter);
+
+} // namespace pinj
+
+#endif // POLYINJECT_INFLUENCE_ACCESSANALYSIS_H

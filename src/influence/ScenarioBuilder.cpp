@@ -1,0 +1,146 @@
+//===- influence/ScenarioBuilder.cpp --------------------------------------===//
+
+#include "influence/ScenarioBuilder.h"
+
+#include <algorithm>
+
+using namespace pinj;
+
+double pinj::dimensionCost(const Statement &S,
+                           const std::vector<AccessStrides> &Strides,
+                           unsigned Iter, bool Innermost, Int ThreadLimit,
+                           const CostWeights &W) {
+  double Cost = 0;
+
+  // Vector terms |V_w| and |V_r|: only for the innermost position.
+  if (Innermost) {
+    unsigned Width = bestVectorWidth(S, Strides, Iter);
+    if (Width != 0) {
+      unsigned VectorStores = 0, VectorLoads = 0;
+      for (const AccessStrides &A : Strides) {
+        if (!isVectorizableAccess(A, Iter, Width))
+          continue;
+        if (A.IsWrite)
+          ++VectorStores;
+        else
+          ++VectorLoads;
+      }
+      Cost += W.W1 * VectorStores + W.W2 * VectorLoads;
+    }
+  }
+
+  // Minimum stride M over accesses that depend on this iterator, and the
+  // number of accesses achieving it.
+  Int MinStride = 0;
+  unsigned AtMinStride = 0;
+  for (const AccessStrides &A : Strides) {
+    Int Stride = A.StridePerIter[Iter];
+    if (Stride < 0)
+      Stride = -Stride;
+    if (Stride == 0)
+      continue;
+    if (MinStride == 0 || Stride < MinStride) {
+      MinStride = Stride;
+      AtMinStride = 1;
+    } else if (Stride == MinStride) {
+      ++AtMinStride;
+    }
+  }
+  if (MinStride != 0) {
+    Cost += W.W3 / static_cast<double>(MinStride);
+    Cost += W.W4 * AtMinStride;
+  }
+
+  // Thread-contribution term.
+  Int N = S.Extents[Iter];
+  double F = (N < ThreadLimit) ? 1.0 : 0.0;
+  if (W.PaperFormulaThreadTerm)
+    Cost += W.W5 * F * static_cast<double>(ThreadLimit) /
+            static_cast<double>(N);
+  else
+    Cost += W.W5 * F * static_cast<double>(N) /
+            static_cast<double>(ThreadLimit);
+  return Cost;
+}
+
+namespace {
+
+/// Greedy completion of a scenario whose innermost pick is already made.
+DimScenario completeScenario(const Kernel &K, unsigned Stmt,
+                             const std::vector<AccessStrides> &Strides,
+                             unsigned Innermost,
+                             const InfluenceOptions &Options) {
+  const Statement &S = K.Stmts[Stmt];
+  DimScenario Scenario;
+  Scenario.Stmt = Stmt;
+  Scenario.Inner = {Innermost};
+  Scenario.InnerCost =
+      dimensionCost(S, Strides, Innermost, /*Innermost=*/true,
+                    Options.ThreadLimit, Options.Weights);
+  Scenario.Score = Scenario.InnerCost;
+  Scenario.VectorWidth = bestVectorWidth(S, Strides, Innermost);
+
+  Int L = std::max<Int>(1, Options.ThreadLimit / S.Extents[Innermost]);
+  unsigned MaxLen = std::min<unsigned>(Options.MaxInnerDims, S.numIters());
+  while (Scenario.Inner.size() < MaxLen) {
+    double BestCost = -1;
+    unsigned Best = S.numIters();
+    for (unsigned D = 0, E = S.numIters(); D != E; ++D) {
+      if (std::find(Scenario.Inner.begin(), Scenario.Inner.end(), D) !=
+          Scenario.Inner.end())
+        continue;
+      double Cost = dimensionCost(S, Strides, D, /*Innermost=*/false, L,
+                                  Options.Weights);
+      // Ties prefer the later iterator (the original inner loop).
+      if (Cost >= BestCost) {
+        BestCost = Cost;
+        Best = D;
+      }
+    }
+    if (Best == S.numIters())
+      break;
+    Scenario.Inner.insert(Scenario.Inner.begin(), Best); // Prepend.
+    Scenario.Score += BestCost;
+    L = std::max<Int>(1, L / S.Extents[Best]);
+  }
+  return Scenario;
+}
+
+} // namespace
+
+DimScenario pinj::buildBestScenario(const Kernel &K, unsigned Stmt,
+                                    const InfluenceOptions &Options) {
+  const Statement &S = K.Stmts[Stmt];
+  std::vector<AccessStrides> Strides = analyzeStrides(K, S);
+  // Algorithm 2 line 8 at the innermost position: best() over all dims.
+  double BestCost = -1;
+  unsigned Best = 0;
+  for (unsigned D = 0, E = S.numIters(); D != E; ++D) {
+    double Cost = dimensionCost(S, Strides, D, /*Innermost=*/true,
+                                Options.ThreadLimit, Options.Weights);
+    if (Cost >= BestCost) {
+      BestCost = Cost;
+      Best = D;
+    }
+  }
+  return completeScenario(K, Stmt, Strides, Best, Options);
+}
+
+std::vector<DimScenario>
+pinj::buildScenarioAlternatives(const Kernel &K, unsigned Stmt,
+                                const InfluenceOptions &Options) {
+  const Statement &S = K.Stmts[Stmt];
+  std::vector<AccessStrides> Strides = analyzeStrides(K, S);
+  std::vector<DimScenario> Alternatives;
+  for (unsigned D = 0, E = S.numIters(); D != E; ++D)
+    Alternatives.push_back(completeScenario(K, Stmt, Strides, D, Options));
+  std::stable_sort(Alternatives.begin(), Alternatives.end(),
+                   [](const DimScenario &A, const DimScenario &B) {
+                     if (A.InnerCost != B.InnerCost)
+                       return A.InnerCost > B.InnerCost;
+                     return A.Score > B.Score;
+                   });
+  if (Alternatives.size() > Options.MaxScenarios)
+    Alternatives.resize(Options.MaxScenarios);
+  return Alternatives;
+}

@@ -1,0 +1,79 @@
+//===- influence/ScenarioBuilder.h - Algorithm 2 ---------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper Algorithm 2: the non-linear search for "influenced dimension
+/// scenarios" — the shortest ordered lists of innermost dimensions that
+/// minimize memory transactions, built innermost-out with the weighted
+/// cost() function of Section V. The weights default to the paper's best
+/// configuration w = (5, 3, 1, 1, 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_INFLUENCE_SCENARIOBUILDER_H
+#define POLYINJECT_INFLUENCE_SCENARIOBUILDER_H
+
+#include "influence/AccessAnalysis.h"
+
+namespace pinj {
+
+/// The cost() weights (paper Section V). The last term's printed formula
+/// (w5*F*L/N) contradicts its prose ("favors high contribution to the
+/// number of threads"); PaperFormulaThreadTerm selects the literal
+/// formula, the default implements the prose (w5*F*N/L). See DESIGN.md.
+struct CostWeights {
+  double W1 = 5; ///< Vectorizable stores.
+  double W2 = 3; ///< Vectorizable loads.
+  double W3 = 1; ///< Inverse minimum stride.
+  double W4 = 1; ///< Accesses at the minimum stride.
+  double W5 = 1; ///< Thread-contribution term.
+  bool PaperFormulaThreadTerm = false;
+};
+
+/// Tunables of the non-linear optimizer.
+struct InfluenceOptions {
+  CostWeights Weights;
+  Int ThreadLimit = 1024;     ///< L in Algorithm 2.
+  unsigned MaxScenarios = 8;  ///< "few of the most profitable" (paper: 8).
+  unsigned MaxInnerDims = 3;  ///< |I_s| bound in Algorithm 2.
+};
+
+/// One influenced dimension scenario for one statement: the tail of the
+/// schedule, outermost-of-the-tail first; Inner.back() is the innermost
+/// dimension, prepared for explicit vector types when VectorWidth != 0.
+struct DimScenario {
+  unsigned Stmt = 0;
+  std::vector<unsigned> Inner; ///< Statement iterator indices.
+  unsigned VectorWidth = 0;
+  double Score = 0;     ///< Sum of per-position costs.
+  double InnerCost = 0; ///< Cost of the innermost pick — the primary
+                        ///< sibling-ordering key (the vectorization
+                        ///< decision dominates the scenario's value).
+};
+
+/// The cost() function of Section V for choosing iterator \p Iter of
+/// statement \p S at the next position (innermost when \p Innermost).
+/// \p Chosen holds iterators already placed (excluded from strides'
+/// "remaining" consideration only through not being candidates).
+double dimensionCost(const Statement &S,
+                     const std::vector<AccessStrides> &Strides,
+                     unsigned Iter, bool Innermost, Int ThreadLimit,
+                     const CostWeights &W);
+
+/// Algorithm 2 for one statement: the greedy best scenario.
+DimScenario buildBestScenario(const Kernel &K, unsigned Stmt,
+                              const InfluenceOptions &Options);
+
+/// Scenario alternatives for one statement: one greedy completion per
+/// candidate innermost dimension, ordered by descending score.
+std::vector<DimScenario>
+buildScenarioAlternatives(const Kernel &K, unsigned Stmt,
+                          const InfluenceOptions &Options);
+
+} // namespace pinj
+
+#endif // POLYINJECT_INFLUENCE_SCENARIOBUILDER_H

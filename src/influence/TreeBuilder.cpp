@@ -1,0 +1,119 @@
+//===- influence/TreeBuilder.cpp ------------------------------------------===//
+
+#include "influence/TreeBuilder.h"
+
+using namespace pinj;
+
+unsigned pinj::pickSinkStatement(const Kernel &K) {
+  assert(!K.Stmts.empty() && "kernel without statements");
+  unsigned Sink = 0;
+  for (unsigned S = 1, E = K.Stmts.size(); S != E; ++S)
+    if (K.Stmts[S].numIters() >= K.Stmts[Sink].numIters())
+      Sink = S;
+  return Sink;
+}
+
+namespace {
+
+/// Iterator index of \p S named \p Name, or numIters() when absent.
+unsigned iteratorByName(const Statement &S, const std::string &Name) {
+  for (unsigned I = 0, E = S.numIters(); I != E; ++I)
+    if (S.IterNames[I] == Name)
+      return I;
+  return S.numIters();
+}
+
+/// True if every iterator of \p Other whose name matches an iterator of
+/// \p Sink has the same extent (the fusion-safety condition).
+bool fusableByName(const Statement &Sink, const Statement &Other) {
+  for (unsigned I = 0, E = Other.numIters(); I != E; ++I) {
+    unsigned P = iteratorByName(Sink, Other.IterNames[I]);
+    if (P != Sink.numIters() && Sink.Extents[P] != Other.Extents[I])
+      return false;
+  }
+  return true;
+}
+
+/// Emits one scenario as a chain of nodes under \p Root.
+void emitBranch(const Kernel &K, unsigned SinkId, const DimScenario &Scen,
+                bool Fused, InfluenceNode *Root, unsigned BranchIdx) {
+  const Statement &Sink = K.Stmts[SinkId];
+  unsigned N = Sink.numIters();
+  unsigned M = Scen.Inner.size();
+  std::string Label =
+      (Fused ? "fused." : "solo.") + std::to_string(BranchIdx);
+
+  InfluenceNode *Node = nullptr;
+  for (unsigned D = 0; D != N; ++D) {
+    Node = Node ? Node->addChild(Label + ".d" + std::to_string(D))
+                : Root->addChild(Label + ".d" + std::to_string(D));
+    if (D + M >= N) {
+      // Tail dimension: pin the sink's row to the unit vector of the
+      // scenario iterator ("coefficients equal to those of the last
+      // access function", which are unit in this domain).
+      unsigned Pinned = Scen.Inner[D - (N - M)];
+      for (unsigned Q = 0; Q != N; ++Q)
+        Node->Constraints.push_back(
+            makeCoeffEquals(SinkId, D, Q, Q == Pinned ? 1 : 0));
+    } else {
+      // Outer dimension: stay independent of every scenario iterator.
+      for (unsigned B : Scen.Inner)
+        Node->Constraints.push_back(makeCoeffEquals(SinkId, D, B, 0));
+    }
+    if (Fused) {
+      // Equate coefficients of same-named iterators across statements.
+      for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
+        if (S == SinkId)
+          continue;
+        const Statement &Other = K.Stmts[S];
+        for (unsigned Q = 0, NQ = Other.numIters(); Q != NQ; ++Q) {
+          unsigned P = iteratorByName(Sink, Other.IterNames[Q]);
+          if (P != Sink.numIters())
+            Node->Constraints.push_back(
+                makeCoeffsEqual(S, D, Q, SinkId, D, P));
+        }
+      }
+    }
+  }
+  // Vector mark on the innermost node; the pipeline's finalize pass
+  // widens/narrows the statement set and width after scheduling.
+  if (Node && Scen.VectorWidth != 0) {
+    Node->VectorStmts = {SinkId};
+    Node->VectorWidth = Scen.VectorWidth;
+  }
+}
+
+} // namespace
+
+InfluenceTree pinj::buildInfluenceTree(const Kernel &K,
+                                       const InfluenceOptions &Options) {
+  InfluenceTree Tree;
+  if (K.Stmts.empty() || K.numParams() != 0)
+    return Tree;
+  unsigned SinkId = pickSinkStatement(K);
+  const Statement &Sink = K.Stmts[SinkId];
+  if (Sink.numIters() == 0)
+    return Tree;
+
+  bool CanFuse = K.Stmts.size() > 1;
+  for (unsigned S = 0, E = K.Stmts.size(); CanFuse && S != E; ++S)
+    if (S != SinkId && !fusableByName(Sink, K.Stmts[S]))
+      CanFuse = false;
+
+  std::vector<DimScenario> Scenarios =
+      buildScenarioAlternatives(K, SinkId, Options);
+  unsigned Branches = 0;
+  for (unsigned I = 0, E = Scenarios.size(); I != E; ++I) {
+    if (Branches >= Options.MaxScenarios)
+      break;
+    if (CanFuse) {
+      emitBranch(K, SinkId, Scenarios[I], /*Fused=*/true, &Tree.root(), I);
+      ++Branches;
+    }
+    if (Branches >= Options.MaxScenarios)
+      break;
+    emitBranch(K, SinkId, Scenarios[I], /*Fused=*/false, &Tree.root(), I);
+    ++Branches;
+  }
+  return Tree;
+}

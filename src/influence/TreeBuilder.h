@@ -1,0 +1,42 @@
+//===- influence/TreeBuilder.h - Scenario to constraint tree ----*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates influenced dimension scenarios into an influence constraint
+/// tree (paper Section V, last part): innermost scheduling coefficients
+/// are pinned to the access-function coefficients (unit rows in this
+/// operator domain), preceding dimensions are kept independent of the
+/// pinned iterators, and per scenario two prioritized variants are
+/// emitted — a higher-priority one that also injects loop fusion
+/// (equating coefficients across statements) and a lower-priority one
+/// constraining only the scenario's own statement. Siblings are ordered
+/// by the cost function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_INFLUENCE_TREEBUILDER_H
+#define POLYINJECT_INFLUENCE_TREEBUILDER_H
+
+#include "influence/ScenarioBuilder.h"
+#include "sched/InfluenceTree.h"
+
+namespace pinj {
+
+/// Builds the influence constraint tree for \p K. The scenarios come
+/// from the sink statement (the deepest loop nest, the operator's
+/// output-producing statement in the fused-operator domain). \returns an
+/// empty tree when no scenario can be built (e.g. zero-dim kernels).
+InfluenceTree buildInfluenceTree(const Kernel &K,
+                                 const InfluenceOptions &Options);
+
+/// The statement whose scenarios drive the tree: maximum loop depth,
+/// later statement on ties (the operator's final output).
+unsigned pickSinkStatement(const Kernel &K);
+
+} // namespace pinj
+
+#endif // POLYINJECT_INFLUENCE_TREEBUILDER_H

@@ -1,0 +1,107 @@
+//===- ir/Builder.cpp -----------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include <cstdio>
+
+using namespace pinj;
+
+KernelBuilder::KernelBuilder(std::string Name) {
+  TheKernel.Name = std::move(Name);
+}
+
+unsigned KernelBuilder::tensor(std::string Name, std::vector<Int> Shape,
+                               unsigned ElemBytes) {
+  Tensor T;
+  T.Name = std::move(Name);
+  T.Shape = std::move(Shape);
+  T.ElemBytes = ElemBytes;
+  TheKernel.Tensors.push_back(std::move(T));
+  return TheKernel.Tensors.size() - 1;
+}
+
+KernelBuilder &
+KernelBuilder::stmt(std::string Name,
+                    std::vector<std::pair<std::string, Int>> Iters) {
+  finalizeCurrent();
+  Current = Statement();
+  Current.Name = std::move(Name);
+  for (auto &[IterName, Extent] : Iters) {
+    Current.IterNames.push_back(IterName);
+    Current.Extents.push_back(Extent);
+  }
+  HasCurrent = true;
+  return *this;
+}
+
+IntVector KernelBuilder::resolveIndex(const Statement &S,
+                                      const IndexExpr &Index) const {
+  IntVector Row(S.numIters() + TheKernel.numParams() + 1, 0);
+  for (const auto &[IterName, Coeff] : Index.Terms) {
+    bool Found = false;
+    for (unsigned I = 0, E = S.numIters(); I != E; ++I) {
+      if (S.IterNames[I] == IterName) {
+        Row[I] = checkedAdd(Row[I], Coeff);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found) {
+      std::fprintf(stderr, "unknown iterator '%s' in statement '%s'\n",
+                   IterName.c_str(), S.Name.c_str());
+      fatalError("index expression references unknown iterator");
+    }
+  }
+  Row.back() = Index.Constant;
+  return Row;
+}
+
+KernelBuilder &KernelBuilder::write(unsigned TensorId,
+                                    std::vector<IndexExpr> Indices) {
+  assert(HasCurrent && "write() before stmt()");
+  Current.Write.TensorId = TensorId;
+  Current.Write.IsWrite = true;
+  Current.Write.Indices.clear();
+  for (const IndexExpr &Index : Indices)
+    Current.Write.Indices.push_back(resolveIndex(Current, Index));
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::read(unsigned TensorId,
+                                   std::vector<IndexExpr> Indices) {
+  assert(HasCurrent && "read() before stmt()");
+  Access A;
+  A.TensorId = TensorId;
+  A.IsWrite = false;
+  for (const IndexExpr &Index : Indices)
+    A.Indices.push_back(resolveIndex(Current, Index));
+  Current.Reads.push_back(std::move(A));
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::op(OpKind Kind) {
+  assert(HasCurrent && "op() before stmt()");
+  Current.Kind = Kind;
+  return *this;
+}
+
+void KernelBuilder::finalizeCurrent() {
+  if (!HasCurrent)
+    return;
+  // Each statement is its own loop nest: beta prefix = statement index.
+  Current.OrigBeta.assign(Current.numIters() + 1, 0);
+  Current.OrigBeta[0] = static_cast<Int>(TheKernel.Stmts.size());
+  TheKernel.Stmts.push_back(std::move(Current));
+  HasCurrent = false;
+}
+
+Kernel KernelBuilder::build() {
+  finalizeCurrent();
+  std::string Diag = TheKernel.verify();
+  if (!Diag.empty()) {
+    std::fprintf(stderr, "malformed kernel '%s': %s\n",
+                 TheKernel.Name.c_str(), Diag.c_str());
+    fatalError("kernel verification failed");
+  }
+  return std::move(TheKernel);
+}

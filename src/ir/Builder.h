@@ -1,0 +1,81 @@
+//===- ir/Builder.h - Convenience construction of kernels -------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent builder for ir::Kernel used by the operator library,
+/// the examples and the tests. Index expressions are written in terms of
+/// iterator names; the builder resolves them to affine rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_IR_BUILDER_H
+#define POLYINJECT_IR_BUILDER_H
+
+#include "ir/Kernel.h"
+
+namespace pinj {
+
+/// One tensor-dimension index as a sum of iterator terms and a constant,
+/// e.g. iterTerm("i") + 2, or a plain constant.
+struct IndexExpr {
+  std::vector<std::pair<std::string, Int>> Terms;
+  Int Constant = 0;
+
+  IndexExpr() = default;
+  /*implicit*/ IndexExpr(Int C) : Constant(C) {}
+  /*implicit*/ IndexExpr(const char *IterName) {
+    Terms.emplace_back(IterName, 1);
+  }
+
+  IndexExpr operator+(Int C) const {
+    IndexExpr R = *this;
+    R.Constant = checkedAdd(R.Constant, C);
+    return R;
+  }
+};
+
+/// Builds one Kernel statement by statement. Betas are assigned so that
+/// statements execute in the order they are added, each in its own loop
+/// nest (the shape graph-kernel fusion produces).
+class KernelBuilder {
+public:
+  explicit KernelBuilder(std::string Name);
+
+  /// Declares a tensor and \returns its id.
+  unsigned tensor(std::string Name, std::vector<Int> Shape,
+                  unsigned ElemBytes = 4);
+
+  /// Starts a statement with the given iterators; Iters maps iterator
+  /// name to extent, outermost first.
+  KernelBuilder &stmt(std::string Name,
+                      std::vector<std::pair<std::string, Int>> Iters);
+
+  /// Sets the write access of the current statement.
+  KernelBuilder &write(unsigned TensorId, std::vector<IndexExpr> Indices);
+
+  /// Appends a read access to the current statement.
+  KernelBuilder &read(unsigned TensorId, std::vector<IndexExpr> Indices);
+
+  /// Sets the op kind of the current statement.
+  KernelBuilder &op(OpKind Kind);
+
+  /// Finalizes the kernel: assigns betas, verifies, and \returns it.
+  /// Aborts on a malformed kernel (builder misuse is a programming error).
+  Kernel build();
+
+private:
+  IntVector resolveIndex(const Statement &S, const IndexExpr &Index) const;
+  void finalizeCurrent();
+
+  Kernel TheKernel;
+  Statement Current;
+  bool HasCurrent = false;
+};
+
+} // namespace pinj
+
+#endif // POLYINJECT_IR_BUILDER_H

@@ -1,0 +1,91 @@
+//===- ir/Kernel.cpp ------------------------------------------------------===//
+
+#include "ir/Kernel.h"
+
+using namespace pinj;
+
+unsigned pinj::numOperands(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Assign:
+  case OpKind::Relu:
+  case OpKind::Exp:
+  case OpKind::Rsqrt:
+  case OpKind::Neg:
+    return 1;
+  case OpKind::Add:
+  case OpKind::Sub:
+  case OpKind::Mul:
+  case OpKind::Div:
+  case OpKind::Max:
+  case OpKind::Min:
+    return 2;
+  case OpKind::Fma:
+  case OpKind::MulSub:
+    return 3;
+  }
+  fatalError("unknown op kind");
+}
+
+const char *pinj::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Assign:
+    return "assign";
+  case OpKind::Add:
+    return "add";
+  case OpKind::Sub:
+    return "sub";
+  case OpKind::Mul:
+    return "mul";
+  case OpKind::Div:
+    return "div";
+  case OpKind::Max:
+    return "max";
+  case OpKind::Min:
+    return "min";
+  case OpKind::Relu:
+    return "relu";
+  case OpKind::Exp:
+    return "exp";
+  case OpKind::Rsqrt:
+    return "rsqrt";
+  case OpKind::Neg:
+    return "neg";
+  case OpKind::Fma:
+    return "fma";
+  case OpKind::MulSub:
+    return "mulsub";
+  }
+  fatalError("unknown op kind");
+}
+
+std::string Kernel::verify() const {
+  for (const Statement &S : Stmts) {
+    if (S.IterNames.size() != S.Extents.size())
+      return S.Name + ": iterator name count differs from extent count";
+    if (S.OrigBeta.size() != S.numIters() + 1)
+      return S.Name + ": beta vector must have numIters()+1 entries";
+    if (S.Reads.size() != numOperands(S.Kind))
+      return S.Name + ": operand count does not match op kind";
+    for (Int E : S.Extents)
+      if (E <= 0)
+        return S.Name + ": nonpositive extent";
+    std::vector<const Access *> All = S.allAccesses();
+    for (const Access *A : All) {
+      if (A->TensorId >= Tensors.size())
+        return S.Name + ": access to unknown tensor";
+      const Tensor &T = Tensors[A->TensorId];
+      if (A->Indices.size() != T.Shape.size())
+        return S.Name + ": access arity differs from tensor rank for " +
+               T.Name;
+      for (const IntVector &Index : A->Indices)
+        if (Index.size() != rowWidth(S))
+          return S.Name + ": index row width mismatch for " + T.Name;
+    }
+    if (!S.Write.IsWrite)
+      return S.Name + ": write access not marked as write";
+    for (const Access &R : S.Reads)
+      if (R.IsWrite)
+        return S.Name + ": read access marked as write";
+  }
+  return "";
+}

@@ -1,0 +1,68 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+using namespace pinj;
+
+std::string pinj::printAffineRow(const IntVector &Row,
+                                 const std::vector<std::string> &IterNames,
+                                 const std::vector<std::string> &ParamNames) {
+  assert(Row.size() == IterNames.size() + ParamNames.size() + 1 &&
+         "row width mismatch");
+  std::string S;
+  auto appendTerm = [&S](Int Coeff, const std::string &Name) {
+    if (Coeff == 0)
+      return;
+    if (!S.empty())
+      S += Coeff > 0 ? " + " : " - ";
+    else if (Coeff < 0)
+      S += "-";
+    Int Abs = Coeff < 0 ? -Coeff : Coeff;
+    if (Abs != 1 || Name.empty())
+      S += std::to_string(Abs) + (Name.empty() ? "" : "*");
+    S += Name;
+  };
+  for (unsigned I = 0, E = IterNames.size(); I != E; ++I)
+    appendTerm(Row[I], IterNames[I]);
+  for (unsigned P = 0, E = ParamNames.size(); P != E; ++P)
+    appendTerm(Row[IterNames.size() + P], ParamNames[P]);
+  Int Const = Row.back();
+  if (Const != 0 || S.empty()) {
+    if (!S.empty())
+      S += Const > 0 ? " + " : " - ";
+    else if (Const < 0)
+      S += "-";
+    S += std::to_string(Const < 0 ? -Const : Const);
+  }
+  return S;
+}
+
+std::string pinj::printAccess(const Kernel &K, const Statement &S,
+                              const Access &A) {
+  std::string Out = K.Tensors[A.TensorId].Name;
+  for (const IntVector &Index : A.Indices)
+    Out += "[" + printAffineRow(Index, S.IterNames, K.ParamNames) + "]";
+  return Out;
+}
+
+std::string pinj::printKernel(const Kernel &K) {
+  std::string Out;
+  for (const Statement &S : K.Stmts) {
+    std::string Indent;
+    for (unsigned D = 0, E = S.numIters(); D != E; ++D) {
+      Out += Indent + "for (" + S.IterNames[D] + " = 0; " + S.IterNames[D] +
+             " < " + std::to_string(S.Extents[D]) + "; " + S.IterNames[D] +
+             "++)\n";
+      Indent += "  ";
+    }
+    Out += Indent + S.Name + ": " + printAccess(K, S, S.Write) + " = " +
+           opKindName(S.Kind) + "(";
+    for (unsigned R = 0, E = S.Reads.size(); R != E; ++R) {
+      if (R != 0)
+        Out += ", ";
+      Out += printAccess(K, S, S.Reads[R]);
+    }
+    Out += ");\n";
+  }
+  return Out;
+}

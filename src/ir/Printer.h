@@ -1,0 +1,36 @@
+//===- ir/Printer.h - Textual dump of kernels -------------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-prints kernels as C-like pseudo-code, in the style of the
+/// paper's Fig. 2(a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_IR_PRINTER_H
+#define POLYINJECT_IR_PRINTER_H
+
+#include "ir/Kernel.h"
+
+#include <string>
+
+namespace pinj {
+
+/// Renders an affine row over (IterNames, ParamNames, 1) as e.g. "i + 2".
+std::string printAffineRow(const IntVector &Row,
+                           const std::vector<std::string> &IterNames,
+                           const std::vector<std::string> &ParamNames);
+
+/// Renders one access, e.g. "D[k][i][j]".
+std::string printAccess(const Kernel &K, const Statement &S, const Access &A);
+
+/// Renders the whole kernel as nested pseudo-code loops.
+std::string printKernel(const Kernel &K);
+
+} // namespace pinj
+
+#endif // POLYINJECT_IR_PRINTER_H

@@ -1,0 +1,67 @@
+//===- lp/Builder.cpp -----------------------------------------------------===//
+
+#include "lp/Builder.h"
+
+using namespace pinj;
+
+void SparseForm::addScaled(const SparseForm &Other, Int Scale) {
+  if (Scale == 0)
+    return;
+  for (const auto &[Var, Coeff] : Other.Terms)
+    Terms.emplace_back(Var, checkedMul(Coeff, Scale));
+  Constant = checkedAdd(Constant, checkedMul(Other.Constant, Scale));
+}
+
+IntVector SparseForm::densify(unsigned NumVars) const {
+  IntVector Row(NumVars, 0);
+  for (const auto &[Var, Coeff] : Terms) {
+    assert(Var < NumVars && "sparse term references unknown variable");
+    Row[Var] = checkedAdd(Row[Var], Coeff);
+  }
+  return Row;
+}
+
+unsigned IlpBuilder::addVar(std::string Name, bool IsInteger) {
+  Names.push_back(std::move(Name));
+  Integrality.push_back(IsInteger);
+  return Names.size() - 1;
+}
+
+void IlpBuilder::addUpperBound(unsigned Var, Int Bound) {
+  SparseForm Form;
+  Form.addTerm(Var, -1);
+  Form.addConstant(Bound);
+  addGe(Form);
+}
+
+void IlpBuilder::truncate(unsigned NumRows, unsigned NumObjectives) {
+  assert(NumRows <= Rows.size() && NumObjectives <= Objectives.size() &&
+         "truncate beyond current size");
+  Rows.resize(NumRows);
+  Objectives.resize(NumObjectives);
+}
+
+IlpResult IlpBuilder::solve() const {
+  IlpProblem Problem(numVars());
+  for (unsigned V = 0, E = numVars(); V != E; ++V)
+    if (Integrality[V])
+      Problem.markInteger(V);
+  for (const Row &R : Rows) {
+    IntVector Dense = R.Form.densify(numVars());
+    switch (R.Kind) {
+    case RowGe:
+      Problem.Lp.addGe(std::move(Dense), R.Form.Constant);
+      break;
+    case RowEq:
+      Problem.Lp.addEq(std::move(Dense), R.Form.Constant);
+      break;
+    case RowLe:
+      Problem.Lp.addLe(std::move(Dense), R.Form.Constant);
+      break;
+    }
+  }
+  std::vector<LexObjective> Levels;
+  for (const SparseForm &Objective : Objectives)
+    Levels.emplace_back(Objective.densify(numVars()));
+  return solveLexMin(std::move(Problem), Levels);
+}

@@ -1,0 +1,89 @@
+//===- lp/Builder.h - Incremental ILP construction --------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds mixed ILPs incrementally: variables are allocated on demand
+/// (the Farkas builder introduces multipliers as it processes dependence
+/// relations) and constraints are collected sparsely, then densified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_LP_BUILDER_H
+#define POLYINJECT_LP_BUILDER_H
+
+#include "lp/LexMin.h"
+
+#include <string>
+
+namespace pinj {
+
+/// A sparse linear form over builder variables plus a constant.
+struct SparseForm {
+  std::vector<std::pair<unsigned, Int>> Terms; ///< (variable, coefficient)
+  Int Constant = 0;
+
+  void addTerm(unsigned Var, Int Coeff) {
+    if (Coeff != 0)
+      Terms.emplace_back(Var, Coeff);
+  }
+  void addConstant(Int C) { Constant = checkedAdd(Constant, C); }
+
+  /// Adds \p Scale times \p Other into this form.
+  void addScaled(const SparseForm &Other, Int Scale);
+
+  /// Densifies into a row of width \p NumVars, accumulating duplicate
+  /// terms.
+  IntVector densify(unsigned NumVars) const;
+};
+
+/// Incremental mixed-ILP builder with named variables.
+class IlpBuilder {
+public:
+  /// Allocates a variable; all variables are nonnegative. Integer
+  /// variables participate in branch and bound.
+  unsigned addVar(std::string Name, bool IsInteger);
+
+  unsigned numVars() const { return Names.size(); }
+  const std::string &varName(unsigned Var) const { return Names[Var]; }
+
+  /// Adds Form >= 0.
+  void addGe(const SparseForm &Form) { Rows.push_back({Form, RowGe}); }
+  /// Adds Form == 0.
+  void addEq(const SparseForm &Form) { Rows.push_back({Form, RowEq}); }
+  /// Adds Form <= 0.
+  void addLe(const SparseForm &Form) { Rows.push_back({Form, RowLe}); }
+  /// Adds Var <= Bound.
+  void addUpperBound(unsigned Var, Int Bound);
+
+  /// Appends a lexicographic minimization level.
+  void addObjective(const SparseForm &Form) { Objectives.push_back(Form); }
+
+  unsigned numConstraints() const { return Rows.size(); }
+
+  /// Removes constraints and objectives added after the marks, enabling
+  /// cheap push/pop of constraint groups during scheduler backtracking.
+  void truncate(unsigned NumRows, unsigned NumObjectives);
+
+  /// Solves lexicographic minimization over the collected objectives.
+  IlpResult solve() const;
+
+private:
+  enum RowKind { RowGe, RowEq, RowLe };
+  struct Row {
+    SparseForm Form;
+    RowKind Kind;
+  };
+
+  std::vector<std::string> Names;
+  std::vector<bool> Integrality;
+  std::vector<Row> Rows;
+  std::vector<SparseForm> Objectives;
+};
+
+} // namespace pinj
+
+#endif // POLYINJECT_LP_BUILDER_H

@@ -1,0 +1,95 @@
+//===- lp/Ilp.cpp ---------------------------------------------------------===//
+
+#include "lp/Ilp.h"
+
+#include <optional>
+
+using namespace pinj;
+
+namespace {
+
+/// Depth-first branch and bound state.
+class BranchAndBound {
+public:
+  explicit BranchAndBound(const IlpProblem &Problem) : Problem(Problem) {}
+
+  IlpResult run() {
+    solveNode(Problem.Lp);
+    IlpResult Result;
+    Result.NodesExplored = Nodes;
+    if (!Incumbent) {
+      Result.Status = IlpResult::Infeasible;
+      return Result;
+    }
+    Result.Status = IlpResult::Optimal;
+    Result.Value = IncumbentValue;
+    Result.Point = *Incumbent;
+    return Result;
+  }
+
+private:
+  /// \returns the index of an integer variable with fractional value, or
+  /// numVars() when the point is integral on all integer variables.
+  unsigned findFractional(const std::vector<Rational> &Point) const {
+    for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
+      if (Problem.IsInteger[V] && !Point[V].isInteger())
+        return V;
+    return Problem.numVars();
+  }
+
+  void solveNode(const LpProblem &Node) {
+    ++Nodes;
+    LpResult Relaxed = solveLp(Node);
+    if (Relaxed.Status == LpResult::Infeasible)
+      return;
+    // An unbounded relaxation cannot be pruned; in this project objectives
+    // are sums of nonnegative variables, so this indicates a misuse.
+    assert(Relaxed.Status != LpResult::Unbounded &&
+           "unbounded ILP relaxation");
+    if (Incumbent && Relaxed.Value >= IncumbentValue)
+      return; // Bound: cannot improve on the incumbent.
+
+    unsigned Fractional = findFractional(Relaxed.Point);
+    if (Fractional == Problem.numVars()) {
+      // Integral solution; becomes the new incumbent.
+      if (!Incumbent || Relaxed.Value < IncumbentValue) {
+        Incumbent = Relaxed.Point;
+        IncumbentValue = Relaxed.Value;
+      }
+      return;
+    }
+
+    Int Floor = Relaxed.Point[Fractional].floor();
+
+    // Branch down: x <= floor.
+    {
+      LpProblem Down = Node;
+      IntVector Coeffs(Problem.numVars(), 0);
+      Coeffs[Fractional] = 1;
+      Down.addLe(std::move(Coeffs), checkedNeg(Floor));
+      solveNode(Down);
+    }
+    // Branch up: x >= floor + 1.
+    {
+      LpProblem Up = Node;
+      IntVector Coeffs(Problem.numVars(), 0);
+      Coeffs[Fractional] = 1;
+      Up.addGe(std::move(Coeffs), checkedNeg(checkedAdd(Floor, 1)));
+      solveNode(Up);
+    }
+  }
+
+  const IlpProblem &Problem;
+  std::optional<std::vector<Rational>> Incumbent;
+  Rational IncumbentValue;
+  unsigned Nodes = 0;
+};
+
+} // namespace
+
+IlpResult pinj::solveIlp(const IlpProblem &Problem) {
+  assert(Problem.IsInteger.size() == Problem.numVars() &&
+         "integrality flags out of sync");
+  BranchAndBound Solver(Problem);
+  return Solver.run();
+}

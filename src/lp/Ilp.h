@@ -1,0 +1,59 @@
+//===- lp/Ilp.h - Branch-and-bound mixed integer solver ---------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mixed integer linear program solver on top of the exact simplex.
+/// Scheduling coefficients are the integer variables (bounded, per the
+/// Pluto-style assumption the paper adopts); Farkas multipliers remain
+/// rational, so branch-and-bound only branches on bounded variables and
+/// terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_LP_ILP_H
+#define POLYINJECT_LP_ILP_H
+
+#include "lp/Simplex.h"
+
+namespace pinj {
+
+/// A mixed ILP: the base LP plus a set of variables restricted to
+/// integers. Integer variables should be bounded (via constraints) or the
+/// search may not terminate; the scheduler always bounds them.
+struct IlpProblem {
+  LpProblem Lp;
+  std::vector<bool> IsInteger; ///< One flag per variable.
+
+  explicit IlpProblem(unsigned NumVars = 0)
+      : Lp(NumVars), IsInteger(NumVars, false) {}
+
+  unsigned numVars() const { return Lp.NumVars; }
+  void markInteger(unsigned Var) {
+    assert(Var < IsInteger.size() && "variable out of range");
+    IsInteger[Var] = true;
+  }
+};
+
+/// Result of a mixed ILP solve. On success, Point entries for integer
+/// variables are exact integers.
+struct IlpResult {
+  enum StatusTy { Optimal, Infeasible };
+
+  StatusTy Status = Infeasible;
+  Rational Value;
+  std::vector<Rational> Point;
+  unsigned NodesExplored = 0; ///< Branch-and-bound statistics.
+
+  bool isOptimal() const { return Status == Optimal; }
+};
+
+/// Solves \p Problem by branch and bound with simplex relaxations.
+IlpResult solveIlp(const IlpProblem &Problem);
+
+} // namespace pinj
+
+#endif // POLYINJECT_LP_ILP_H

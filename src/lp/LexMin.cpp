@@ -1,0 +1,37 @@
+//===- lp/LexMin.cpp ------------------------------------------------------===//
+
+#include "lp/LexMin.h"
+
+using namespace pinj;
+
+IlpResult pinj::solveLexMin(IlpProblem Problem,
+                            const std::vector<LexObjective> &Objectives) {
+  IlpResult Last;
+  if (Objectives.empty()) {
+    // Pure feasibility.
+    Problem.Lp.Objective.assign(Problem.numVars(), 0);
+    return solveIlp(Problem);
+  }
+
+  unsigned TotalNodes = 0;
+  for (const LexObjective &Level : Objectives) {
+    assert(Level.Coeffs.size() == Problem.numVars() &&
+           "objective width mismatch");
+    Problem.Lp.Objective = Level.Coeffs;
+    Last = solveIlp(Problem);
+    TotalNodes += Last.NodesExplored;
+    if (!Last.isOptimal()) {
+      Last.NodesExplored = TotalNodes;
+      return Last;
+    }
+    // Pin this level at its optimum: q * (c . x) == p for Value == p/q.
+    Int P = Last.Value.numerator();
+    Int Q = Last.Value.denominator();
+    IntVector Pinned(Problem.numVars(), 0);
+    for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
+      Pinned[V] = checkedMul(Q, Level.Coeffs[V]);
+    Problem.Lp.addEq(std::move(Pinned), checkedNeg(P));
+  }
+  Last.NodesExplored = TotalNodes;
+  return Last;
+}

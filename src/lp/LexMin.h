@@ -1,0 +1,38 @@
+//===- lp/LexMin.h - Lexicographic multi-objective ILP ----------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexicographic minimization over a sequence of linear objectives, the
+/// "minimize_<" operator of paper Eq. (2): minimize the first objective,
+/// pin it at its optimum, minimize the next, and so on. The paper's
+/// proximity cost uses the isl form f = (sum u_i, w) followed by
+/// coefficient-sum tie-breakers; each component is one objective here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_LP_LEXMIN_H
+#define POLYINJECT_LP_LEXMIN_H
+
+#include "lp/Ilp.h"
+
+namespace pinj {
+
+/// One level of a lexicographic objective: Coeffs . x, minimized.
+struct LexObjective {
+  IntVector Coeffs;
+
+  explicit LexObjective(IntVector C) : Coeffs(std::move(C)) {}
+};
+
+/// Minimizes \p Objectives lexicographically subject to \p Problem.
+/// \returns the final optimum; Value holds the last level's value.
+IlpResult solveLexMin(IlpProblem Problem,
+                      const std::vector<LexObjective> &Objectives);
+
+} // namespace pinj
+
+#endif // POLYINJECT_LP_LEXMIN_H

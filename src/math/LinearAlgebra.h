@@ -1,0 +1,57 @@
+//===- math/LinearAlgebra.h - Exact linear algebra --------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact integer linear algebra used by the scheduler's progression
+/// constraint builder (paper Section IV-A3): rank, nullspace basis
+/// computation (the orthogonal complement of a schedule's row space) and
+/// Hermite normal form (the decomposition isl's scheduler relies on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_MATH_LINEARALGEBRA_H
+#define POLYINJECT_MATH_LINEARALGEBRA_H
+
+#include "math/Matrix.h"
+
+namespace pinj {
+
+/// \returns the rank of \p M over the rationals.
+unsigned matrixRank(const IntMatrix &M);
+
+/// Computes an integer basis of the nullspace of \p M (all vectors v with
+/// M v = 0). Each basis vector is a row of the result, normalized by gcd.
+/// Since nullspace(M) is the orthogonal complement of rowspace(M), this is
+/// exactly the H-perp construction of paper Eq. (4).
+IntMatrix nullspaceBasis(const IntMatrix &M);
+
+/// Result of a Hermite normal form computation: H = U * M where U is
+/// unimodular and H is lower-triangular column-style HNF of the row space.
+struct HermiteForm {
+  IntMatrix H; ///< Row-style Hermite normal form of M.
+  IntMatrix U; ///< Unimodular transform with H = U * M.
+};
+
+/// Computes the row-style Hermite normal form of \p M: pivots move left to
+/// right, each pivot is positive, and entries below a pivot are zero,
+/// entries above are reduced modulo the pivot.
+HermiteForm hermiteNormalForm(const IntMatrix &M);
+
+/// \returns true if the row vector \p V lies in the row space of \p M
+/// (over the rationals).
+bool inRowSpace(const IntMatrix &M, const IntVector &V);
+
+/// Pluto's orthogonal-subspace construction (paper Section IV-A3):
+/// rows spanning the same space as I - H^T (H H^T)^{-1} H, computed
+/// exactly and scaled to integers. Spans the same subspace as
+/// nullspaceBasis(H) (a property the tests verify); H must have full
+/// row rank (drop zero/dependent rows first).
+IntMatrix plutoOrthogonalProjector(const IntMatrix &H);
+
+} // namespace pinj
+
+#endif // POLYINJECT_MATH_LINEARALGEBRA_H

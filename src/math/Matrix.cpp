@@ -1,0 +1,72 @@
+//===- math/Matrix.cpp ----------------------------------------------------===//
+
+#include "math/Matrix.h"
+
+using namespace pinj;
+
+Int pinj::dotProduct(const IntVector &A, const IntVector &B) {
+  assert(A.size() == B.size() && "dot product size mismatch");
+  Int Sum = 0;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    Sum = checkedAdd(Sum, checkedMul(A[I], B[I]));
+  return Sum;
+}
+
+void pinj::normalizeByGcd(IntVector &V) {
+  Int G = 0;
+  for (Int X : V)
+    G = gcdInt(G, X);
+  if (G <= 1)
+    return;
+  for (Int &X : V)
+    X /= G;
+}
+
+bool pinj::isZeroVector(const IntVector &V) {
+  for (Int X : V)
+    if (X != 0)
+      return false;
+  return true;
+}
+
+void IntMatrix::appendRow(const IntVector &NewRow) {
+  if (Data.empty() && Columns == 0)
+    Columns = NewRow.size();
+  assert(NewRow.size() == Columns && "appended row has wrong width");
+  Data.push_back(NewRow);
+}
+
+void IntMatrix::truncateRows(unsigned FirstRemoved) {
+  if (FirstRemoved < Data.size())
+    Data.resize(FirstRemoved);
+}
+
+IntMatrix IntMatrix::transpose() const {
+  IntMatrix T(numCols(), numRows());
+  for (unsigned R = 0, NR = numRows(); R != NR; ++R)
+    for (unsigned C = 0, NC = numCols(); C != NC; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+IntVector IntMatrix::multiply(const IntVector &V) const {
+  assert(V.size() == Columns && "matrix-vector size mismatch");
+  IntVector Result(numRows(), 0);
+  for (unsigned R = 0, NR = numRows(); R != NR; ++R)
+    Result[R] = dotProduct(Data[R], V);
+  return Result;
+}
+
+std::string IntMatrix::str() const {
+  std::string S;
+  for (unsigned R = 0, NR = numRows(); R != NR; ++R) {
+    S += "[";
+    for (unsigned C = 0, NC = numCols(); C != NC; ++C) {
+      if (C != 0)
+        S += " ";
+      S += std::to_string(at(R, C));
+    }
+    S += "]\n";
+  }
+  return S;
+}

@@ -1,0 +1,92 @@
+//===- math/Matrix.h - Dense integer matrices -------------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense row-major integer matrices and vectors. These back iteration
+/// domain constraint systems, schedule transformation matrices, and the
+/// linear algebra in math/LinearAlgebra.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_MATH_MATRIX_H
+#define POLYINJECT_MATH_MATRIX_H
+
+#include "support/Support.h"
+
+#include <string>
+#include <vector>
+
+namespace pinj {
+
+/// A dense integer row vector.
+using IntVector = std::vector<Int>;
+
+/// Dot product of two equally sized vectors (overflow-checked).
+Int dotProduct(const IntVector &A, const IntVector &B);
+
+/// Divides every entry by the gcd of all entries (no-op on zero vectors).
+void normalizeByGcd(IntVector &V);
+
+/// \returns true if every entry of \p V is zero.
+bool isZeroVector(const IntVector &V);
+
+/// A dense row-major matrix of 64-bit integers.
+class IntMatrix {
+public:
+  IntMatrix() : Columns(0) {}
+  IntMatrix(unsigned NumRows, unsigned NumCols)
+      : Columns(NumCols), Data(NumRows, IntVector(NumCols, 0)) {}
+
+  unsigned numRows() const { return Data.size(); }
+  unsigned numCols() const { return Columns; }
+  bool empty() const { return Data.empty(); }
+
+  Int &at(unsigned Row, unsigned Col) {
+    assert(Row < numRows() && Col < numCols() && "matrix index out of range");
+    return Data[Row][Col];
+  }
+  Int at(unsigned Row, unsigned Col) const {
+    assert(Row < numRows() && Col < numCols() && "matrix index out of range");
+    return Data[Row][Col];
+  }
+
+  IntVector &row(unsigned Row) {
+    assert(Row < numRows() && "row index out of range");
+    return Data[Row];
+  }
+  const IntVector &row(unsigned Row) const {
+    assert(Row < numRows() && "row index out of range");
+    return Data[Row];
+  }
+
+  /// Appends \p NewRow (must have numCols() entries, unless the matrix is
+  /// empty, in which case it defines the column count).
+  void appendRow(const IntVector &NewRow);
+
+  /// Removes all rows with index >= \p FirstRemoved.
+  void truncateRows(unsigned FirstRemoved);
+
+  /// \returns the transpose.
+  IntMatrix transpose() const;
+
+  /// Matrix-vector product (overflow-checked).
+  IntVector multiply(const IntVector &V) const;
+
+  bool operator==(const IntMatrix &O) const {
+    return Columns == O.Columns && Data == O.Data;
+  }
+
+  std::string str() const;
+
+private:
+  unsigned Columns;
+  std::vector<IntVector> Data;
+};
+
+} // namespace pinj
+
+#endif // POLYINJECT_MATH_MATRIX_H

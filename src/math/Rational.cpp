@@ -1,0 +1,204 @@
+//===- math/Rational.cpp --------------------------------------------------===//
+
+#include "math/Rational.h"
+
+using namespace pinj;
+
+namespace {
+
+Int128 gcd128(Int128 A, Int128 B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    Int128 T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+Int128 mul128(Int128 A, Int128 B) {
+  Int128 R;
+  if (__builtin_mul_overflow(A, B, &R))
+    fatalError("128-bit overflow in rational arithmetic");
+  return R;
+}
+
+Int128 add128(Int128 A, Int128 B) {
+  Int128 R;
+  if (__builtin_add_overflow(A, B, &R))
+    fatalError("128-bit overflow in rational arithmetic");
+  return R;
+}
+
+} // namespace
+
+Rational pinj::makeRational128(Int128 N, Int128 D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  Int128 G = gcd128(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Rational R;
+  R.Num = N;
+  R.Den = D;
+  return R;
+}
+
+Rational::Rational(Int N, Int D) : Num(N), Den(D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  Int128 G = gcd128(Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+}
+
+Int Rational::numerator() const {
+  if (Num > INT64_MAX || Num < INT64_MIN)
+    fatalError("rational numerator exceeds 64 bits");
+  return static_cast<Int>(Num);
+}
+
+Int Rational::denominator() const {
+  if (Den > INT64_MAX)
+    fatalError("rational denominator exceeds 64 bits");
+  return static_cast<Int>(Den);
+}
+
+Int Rational::floor() const {
+  Int128 Q = Num / Den;
+  if (Num % Den != 0 && Num < 0)
+    --Q;
+  if (Q > INT64_MAX || Q < INT64_MIN)
+    fatalError("rational floor exceeds 64 bits");
+  return static_cast<Int>(Q);
+}
+
+Int Rational::ceil() const {
+  Int128 Q = Num / Den;
+  if (Num % Den != 0 && Num > 0)
+    ++Q;
+  if (Q > INT64_MAX || Q < INT64_MIN)
+    fatalError("rational ceil exceeds 64 bits");
+  return static_cast<Int>(Q);
+}
+
+Rational Rational::fractionalPart() const {
+  return *this - Rational(floor());
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  // Fast paths for the dominant integer and zero cases.
+  if (Num == 0)
+    return O;
+  if (O.Num == 0)
+    return *this;
+  if (Den == 1 && O.Den == 1)
+    return fromReduced(add128(Num, O.Num), 1);
+  // Use the gcd of denominators to keep intermediates small.
+  Int128 G = gcd128(Den, O.Den);
+  Int128 DenA = Den / G;
+  Int128 DenB = O.Den / G;
+  Int128 N = add128(mul128(Num, DenB), mul128(O.Num, DenA));
+  Int128 D = mul128(mul128(DenA, DenB), G);
+  return makeRational128(N, D);
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return *this + (-O);
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  if (Num == 0 || O.Num == 0)
+    return Rational();
+  if (Den == 1 && O.Den == 1)
+    return fromReduced(mul128(Num, O.Num), 1);
+  // Cross-reduce before multiplying.
+  Int128 G1 = gcd128(Num, O.Den);
+  Int128 G2 = gcd128(O.Num, Den);
+  Int128 N = mul128(Num / G1, O.Num / G2);
+  Int128 D = mul128(Den / G2, O.Den / G1);
+  return makeRational128(N, D);
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  assert(!O.isZero() && "rational division by zero");
+  Int128 G1 = gcd128(Num, O.Num);
+  Int128 G2 = gcd128(Den, O.Den);
+  Int128 N = mul128(Num / G1, O.Den / G2);
+  Int128 D = mul128(Den / G2, O.Num / G1);
+  return makeRational128(N, D);
+}
+
+namespace {
+
+/// Compares A/B with C/D (B, D > 0) exactly, without any multiplication
+/// (immune to overflow), via the continued-fraction (Euclidean)
+/// algorithm. \returns -1, 0 or +1.
+int compareFractionsExact(Int128 A, Int128 B, Int128 C, Int128 D) {
+  // Signs first; then reduce to the nonnegative comparison.
+  bool NegL = A < 0, NegR = C < 0;
+  if (NegL != NegR)
+    return NegL ? -1 : 1;
+  if (NegL)
+    return compareFractionsExact(-C, D, -A, B);
+  // Iterative Euclidean comparison of A/B vs C/D with everything >= 0.
+  for (;;) {
+    Int128 Q1 = A / B, Q2 = C / D;
+    if (Q1 != Q2)
+      return Q1 < Q2 ? -1 : 1;
+    Int128 R1 = A - Q1 * B, R2 = C - Q2 * D;
+    if (R1 == 0 && R2 == 0)
+      return 0;
+    if (R1 == 0)
+      return -1;
+    if (R2 == 0)
+      return 1;
+    // A/B ? C/D  <=>  (Q + R1/B) ? (Q + R2/D)  <=>  R1/B ? R2/D
+    // <=>  D/R2 ? B/R1 (reciprocals flip the order).
+    Int128 NewA = D, NewB = R2, NewC = B, NewD = R1;
+    A = NewA;
+    B = NewB;
+    C = NewC;
+    D = NewD;
+  }
+}
+
+} // namespace
+
+bool Rational::operator<(const Rational &O) const {
+  if (Den == O.Den)
+    return Num < O.Num;
+  return compareFractionsExact(Num, Den, O.Num, O.Den) < 0;
+}
+
+std::string Rational::str() const {
+  auto toString = [](Int128 V) {
+    if (V == 0)
+      return std::string("0");
+    bool Negative = V < 0;
+    std::string Digits;
+    while (V != 0) {
+      int Digit = static_cast<int>(V % 10);
+      Digits.insert(Digits.begin(),
+                    static_cast<char>('0' + (Digit < 0 ? -Digit : Digit)));
+      V /= 10;
+    }
+    return Negative ? "-" + Digits : Digits;
+  };
+  if (Den == 1)
+    return toString(Num);
+  return toString(Num) + "/" + toString(Den);
+}

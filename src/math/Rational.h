@@ -1,0 +1,96 @@
+//===- math/Rational.h - Exact rational arithmetic --------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers stored as 128-bit integers, normalized so that
+/// the denominator is positive and gcd(num, den) == 1. The exact simplex
+/// in lp/ relies on this type; tableau entries of large scheduling ILPs
+/// (long fused chains with big extents) genuinely need more than 64
+/// bits. Overflow aborts rather than silently wrapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_MATH_RATIONAL_H
+#define POLYINJECT_MATH_RATIONAL_H
+
+#include "support/Support.h"
+
+#include <string>
+
+namespace pinj {
+
+/// The wide integer backing rationals.
+using Int128 = __int128;
+
+/// An exact rational with a positive denominator, always kept in lowest
+/// terms.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  /*implicit*/ Rational(Int N) : Num(N), Den(1) {}
+  Rational(Int N, Int D);
+
+  /// Numerator narrowed to 64 bits; asserts that it fits (callers use
+  /// this on solution values, which are small).
+  Int numerator() const;
+  /// Denominator narrowed to 64 bits; asserts that it fits.
+  Int denominator() const;
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+  bool isInteger() const { return Den == 1; }
+
+  /// \returns the value rounded toward negative infinity.
+  Int floor() const;
+  /// \returns the value rounded toward positive infinity.
+  Int ceil() const;
+  /// \returns the fractional part, in [0, 1).
+  Rational fractionalPart() const;
+
+  Rational operator-() const { return fromReduced(-Num, Den); }
+  Rational operator+(const Rational &O) const;
+  Rational operator-(const Rational &O) const;
+  Rational operator*(const Rational &O) const;
+  Rational operator/(const Rational &O) const;
+
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const;
+  bool operator<=(const Rational &O) const { return !(O < *this); }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return !(*this < O); }
+
+  std::string str() const;
+
+private:
+  static Rational fromReduced(Int128 N, Int128 D) {
+    Rational R;
+    R.Num = N;
+    R.Den = D;
+    return R;
+  }
+  friend Rational makeRational128(Int128 N, Int128 D);
+
+  Int128 Num;
+  Int128 Den;
+};
+
+/// Builds a rational from (possibly wide) parts, reducing to lowest
+/// terms; aborts on 128-bit overflow of the reduction inputs.
+Rational makeRational128(Int128 N, Int128 D);
+
+} // namespace pinj
+
+#endif // POLYINJECT_MATH_RATIONAL_H

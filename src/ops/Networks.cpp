@@ -1,0 +1,139 @@
+//===- ops/Networks.cpp ---------------------------------------------------===//
+
+#include "ops/Networks.h"
+
+using namespace pinj;
+
+namespace {
+
+/// Appends \p Count element-wise fusions with odd column counts: their
+/// schedules match the reference scheduler's exactly (not influenced)
+/// and odd extents make them ineligible for vector types. Length 1
+/// gives the single-statement operators common in the cv networks
+/// (TVM parity); longer chains model BERT's deep fusions (heavy TVM
+/// launch/traffic penalty).
+void addPlainChains(NetworkSuite &Suite, unsigned Count, Int Rows,
+                    Int OddCols, unsigned MinLen, unsigned MaxLen,
+                    unsigned SeedBase) {
+  assert(OddCols % 2 == 1 && "plain chains need odd widths");
+  for (unsigned I = 0; I != Count; ++I) {
+    unsigned Length = MinLen + (SeedBase + I) % (MaxLen - MinLen + 1);
+    Suite.Operators.push_back(makeElementwiseChain(
+        Suite.Name + "_chain" + std::to_string(I), Rows, OddCols, Length,
+        SeedBase + I));
+  }
+}
+
+NetworkSuite makeBert() {
+  NetworkSuite Suite{"BERT", "nlp", "zhwiki", {}};
+  // 56 long element-wise fusions (not influenced, not vectorizable);
+  // per-statement launches make the TVM proxy pay dearly here.
+  addPlainChains(Suite, 56, 256, 255, 8, 14, 100);
+  // ... and 53 influenced operators shaped like the running example
+  // (fused_mul_sub_mul_tensoradd is itself a BERT operator).
+  static const Int Sizes[] = {32, 32, 48};
+  for (unsigned I = 0; I != 53; ++I) {
+    Kernel K = makeFusedMulSubMulTensorAdd(Sizes[I % 3]);
+    K.Name += "_" + std::to_string(I);
+    Suite.Operators.push_back(std::move(K));
+  }
+  return Suite;
+}
+
+NetworkSuite makeLstm() {
+  NetworkSuite Suite{"LSTM", "nlp", "ACLIMDB, GloVe", {}};
+  // Four tiny, launch-bound operators; three are influenced.
+  Suite.Operators.push_back(
+      makeElementwiseChain("LSTM_gates", 64, 255, 2, 7));
+  Suite.Operators.push_back(makeHostileOrderCopy("LSTM_perm0", 64, 64, 11));
+  Suite.Operators.push_back(makeHostileOrderCopy("LSTM_perm1", 32, 128, 12));
+  Suite.Operators.push_back(
+      makeMiddlePermuted3D("LSTM_state", 8, 16, 64, 13));
+  return Suite;
+}
+
+NetworkSuite makeMobileNetV2() {
+  NetworkSuite Suite{"MobileNetv2", "cv", "ImageNet", {}};
+  addPlainChains(Suite, 2, 128, 511, 1, 1, 300);
+  // 16 influenced, near-neutral layout reorders.
+  for (unsigned I = 0; I != 16; ++I)
+    Suite.Operators.push_back(makeMiddlePermuted3D(
+        "Mob_perm" + std::to_string(I), 16 + 8 * (I % 3), 28, 64, 310 + I));
+  return Suite;
+}
+
+NetworkSuite makeResNet(const std::string &Name, const std::string &Dataset,
+                        unsigned PlainCount, Int PlainRows, Int PlainCols,
+                        unsigned HostileEven, unsigned HostileOdd, Int H,
+                        Int W, unsigned SeedBase) {
+  NetworkSuite Suite{Name, "cv", Dataset, {}};
+  addPlainChains(Suite, PlainCount, PlainRows, PlainCols, 1, 1, SeedBase);
+  // Layout-hostile permutes from fused transpose chains: influenced and
+  // vectorizable when the extents are even.
+  for (unsigned I = 0; I != HostileEven; ++I) {
+    if (I % 2 == 0)
+      Suite.Operators.push_back(makeHostileOrderCopy(
+          Name + "_tr" + std::to_string(I), H, W, SeedBase + 50 + I));
+    else
+      Suite.Operators.push_back(makeHostileOrderPermute3D(
+          Name + "_tr" + std::to_string(I), 32, H / 4, W / 2,
+          SeedBase + 50 + I));
+  }
+  // Odd-width hostiles: influenced (reordered) but not vectorizable.
+  for (unsigned I = 0; I != HostileOdd; ++I)
+    Suite.Operators.push_back(makeHostileOrderCopy(
+        Name + "_trodd" + std::to_string(I), H, W - 1, SeedBase + 90 + I));
+  return Suite;
+}
+
+NetworkSuite makeResNeXt50() {
+  NetworkSuite Suite{"ResNeXt50", "cv", "ImageNet", {}};
+  addPlainChains(Suite, 11, 384, 767, 1, 1, 500);
+  for (unsigned I = 0; I != 10; ++I)
+    Suite.Operators.push_back(makeMiddlePermuted3D(
+        "RX_perm" + std::to_string(I), 32, 28, 64, 510 + I));
+  for (unsigned I = 0; I != 11; ++I)
+    Suite.Operators.push_back(makeHostileOrderCopy(
+        "RX_tr" + std::to_string(I), 256, 256, 530 + I));
+  Suite.Operators.push_back(
+      makeHostileOrderCopy("RX_trodd", 256, 255, 560));
+  return Suite;
+}
+
+NetworkSuite makeVgg16() {
+  NetworkSuite Suite{"VGG16", "cv", "CIFAR-10", {}};
+  addPlainChains(Suite, 4, 1024, 2047, 1, 1, 600);
+  for (unsigned I = 0; I != 9; ++I)
+    Suite.Operators.push_back(makeHostileOrderCopy(
+        "VGG_tr" + std::to_string(I), 256, 384, 610 + I));
+  Suite.Operators.push_back(
+      makeHostileOrderCopy("VGG_trodd", 256, 383, 630));
+  return Suite;
+}
+
+} // namespace
+
+NetworkSuite pinj::makeNetworkSuite(const std::string &Name) {
+  if (Name == "bert")
+    return makeBert();
+  if (Name == "lstm")
+    return makeLstm();
+  if (Name == "mobilenetv2")
+    return makeMobileNetV2();
+  if (Name == "resnet50")
+    return makeResNet("ResNet50", "CIFAR-10", 5, 1536, 2047, 10, 2,
+                      768, 768, 400);
+  if (Name == "resnet101")
+    return makeResNet("ResNet101", "ImageNet", 6, 1024, 2047, 14, 2,
+                      2048, 2048, 450);
+  if (Name == "resnext50")
+    return makeResNeXt50();
+  if (Name == "vgg16")
+    return makeVgg16();
+  fatalError("unknown network name");
+}
+
+std::vector<std::string> pinj::allNetworkNames() {
+  return {"bert",     "lstm",      "mobilenetv2", "resnet50",
+          "resnet101", "resnext50", "vgg16"};
+}

@@ -1,0 +1,50 @@
+//===- ops/Networks.h - Table I / Table II network suites -------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic per-network populations of fused operators standing in for
+/// the MindSpore ModelZoo workloads of the paper's Table I. The mixes
+/// are structurally faithful to Table II's operator counts:
+///   - the `total` column fixes the number of fused operators,
+///   - operators whose schedule the influence machinery does not change
+///     (long element-wise fusions with isl-identical schedules) make up
+///     `total - infl`,
+///   - `vec` of the influenced operators are vectorization-eligible,
+/// and the operator families are chosen so the per-network behaviour
+/// matches the paper's analysis: transpose-heavy ResNets dominated by
+/// layout-hostile permutes (large influenced speedups), BERT dominated
+/// by long already-coalesced element-wise chains (modest speedups, and
+/// a heavy unfused penalty for the TVM proxy), tiny launch-bound LSTM
+/// operators, and near-neutral reorderings for MobileNet-like suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_OPS_NETWORKS_H
+#define POLYINJECT_OPS_NETWORKS_H
+
+#include "ops/OpFactory.h"
+
+namespace pinj {
+
+/// One end-to-end workload of the paper's Table I.
+struct NetworkSuite {
+  std::string Name;
+  std::string Type;    ///< "nlp" or "cv".
+  std::string Dataset; ///< As listed in Table I.
+  std::vector<Kernel> Operators;
+};
+
+/// Builds the suite for one of: bert, lstm, mobilenetv2, resnet50,
+/// resnet101, resnext50, vgg16. Aborts on unknown names.
+NetworkSuite makeNetworkSuite(const std::string &Name);
+
+/// All seven network names in the paper's Table I/II order.
+std::vector<std::string> allNetworkNames();
+
+} // namespace pinj
+
+#endif // POLYINJECT_OPS_NETWORKS_H

@@ -1,0 +1,113 @@
+//===- pipeline/Pipeline.cpp ----------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "codegen/Vectorizer.h"
+#include "exec/Interpreter.h"
+
+using namespace pinj;
+
+namespace {
+
+/// True if the schedule can be generated and simulated by the backend:
+/// unit/constant rows only, and statements sharing a loop dimension
+/// agree on its extent.
+bool backendAccepts(const Kernel &K, const Schedule &S) {
+  if (!isGeneratableSchedule(K, S))
+    return false;
+  for (unsigned D = 0, ND = S.numDims(); D != ND; ++D) {
+    Int Extent = 0;
+    for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt) {
+      RowShape Shape = analyzeRow(K, S, Stmt, D);
+      if (Shape.Kind != RowShape::Unit)
+        continue;
+      Int StmtExtent = K.Stmts[Stmt].Extents[Shape.Iter];
+      if (Extent != 0 && StmtExtent != Extent)
+        return false;
+      Extent = StmtExtent;
+    }
+  }
+  return true;
+}
+
+bool sameTransforms(const Schedule &A, const Schedule &B) {
+  if (A.Transforms.size() != B.Transforms.size())
+    return false;
+  for (unsigned S = 0, E = A.Transforms.size(); S != E; ++S)
+    if (!(A.Transforms[S] == B.Transforms[S]))
+      return false;
+  return true;
+}
+
+ConfigResult simulateConfig(const Kernel &K, const Schedule &S,
+                            const PipelineOptions &Options) {
+  ConfigResult Result;
+  Result.Sched = S;
+  MappedKernel M = mapToGpu(K, S, Options.Mapping);
+  Result.Sim = simulateKernel(M, Options.Gpu);
+  Result.TimeUs = Result.Sim.TimeUs;
+  return Result;
+}
+
+} // namespace
+
+SchedulerResult pinj::scheduleInfluenced(const Kernel &K,
+                                         const PipelineOptions &Options) {
+  InfluenceTree Tree = buildInfluenceTree(K, Options.Influence);
+  SchedulerOptions Sched = Options.Sched;
+  Sched.SerializeSccs = false; // Let fusion constraints take effect.
+  return scheduleKernel(K, Sched, &Tree);
+}
+
+std::string pinj::renderCuda(const Kernel &K, const Schedule &S,
+                             const GpuMappingOptions &Mapping) {
+  MappedKernel M = mapToGpu(K, S, Mapping);
+  return printCuda(M);
+}
+
+OperatorReport pinj::runOperator(const Kernel &K,
+                                 const PipelineOptions &Options) {
+  OperatorReport Report;
+  Report.Name = K.Name;
+
+  // Reference configuration: plain scheduling, SCCs serialized up front
+  // (the isl behaviour observed in the paper's Fig. 2(b)).
+  SchedulerOptions IslOptions = Options.Sched;
+  IslOptions.SerializeSccs = true;
+  SchedulerResult IslRun = scheduleKernel(K, IslOptions);
+  finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
+  assert(backendAccepts(K, IslRun.Sched) &&
+         "reference schedule must be generatable");
+  Report.Isl = simulateConfig(K, IslRun.Sched, Options);
+  Report.Isl.Stats = IslRun.Stats;
+
+  // Influenced scheduling (shared by novec and infl).
+  SchedulerResult InflRun = scheduleInfluenced(K, Options);
+  if (!backendAccepts(K, InflRun.Sched)) {
+    // The influenced schedule fused statements the backend cannot
+    // generate together; fall back to the reference schedule.
+    InflRun.Sched = IslRun.Sched;
+    InflRun.ReachedLeaf = nullptr;
+  }
+  Report.Influenced = !sameTransforms(InflRun.Sched, IslRun.Sched);
+
+  Schedule NovecSched = InflRun.Sched;
+  finalizeVectorMarks(K, NovecSched, /*DisableVectorization=*/true);
+  Report.Novec = simulateConfig(K, NovecSched, Options);
+  Report.Novec.Stats = InflRun.Stats;
+
+  Schedule InflSched = InflRun.Sched;
+  Report.VecEligible =
+      finalizeVectorMarks(K, InflSched, /*DisableVectorization=*/false) > 0;
+  Report.Infl = simulateConfig(K, InflSched, Options);
+  Report.Infl.Stats = InflRun.Stats;
+
+  // Manual-schedule proxy.
+  Report.Tvm = simulateTvmProxy(K, Options.Gpu, Options.Mapping);
+
+  if (Options.Validate) {
+    Report.Validated = scheduleIsSemanticallyEqual(K, IslRun.Sched) &&
+                       scheduleIsSemanticallyEqual(K, InflSched);
+  }
+  return Report;
+}

@@ -1,0 +1,80 @@
+//===- pipeline/Pipeline.h - End-to-end operator pipeline -------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the public API: runs one fused operator through the four
+/// configurations the paper compares —
+///   isl   : plain polyhedral scheduling (reference configuration),
+///   tvm   : the manual-schedule proxy (per-statement launches),
+///   novec : influenced scheduling, explicit vectorization disabled,
+///   infl  : influenced scheduling with explicit vector types —
+/// producing schedules, CUDA-like code and simulated execution times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_PIPELINE_PIPELINE_H
+#define POLYINJECT_PIPELINE_PIPELINE_H
+
+#include "baselines/TvmProxy.h"
+#include "codegen/Ast.h"
+#include "influence/TreeBuilder.h"
+#include "sched/Scheduler.h"
+
+namespace pinj {
+
+/// All pipeline tunables in one place.
+struct PipelineOptions {
+  SchedulerOptions Sched;
+  InfluenceOptions Influence;
+  GpuMappingOptions Mapping;
+  GpuModel Gpu;
+  /// Execute original vs scheduled order on real buffers and compare
+  /// (slow; meant for tests and small shapes).
+  bool Validate = false;
+};
+
+/// Result of one configuration of one operator.
+struct ConfigResult {
+  Schedule Sched;
+  KernelSim Sim;
+  double TimeUs = 0;
+  SchedulerStats Stats;
+};
+
+/// The paper's per-operator measurements.
+struct OperatorReport {
+  std::string Name;
+  ConfigResult Isl;
+  ConfigResult Novec;
+  ConfigResult Infl;
+  TvmProxyResult Tvm;
+  /// Our influence changed the schedule relative to isl's solution
+  /// (the paper's "infl" operator count).
+  bool Influenced = false;
+  /// The influenced schedule is eligible for explicit load/store
+  /// vectorization (the paper's "vec" operator count).
+  bool VecEligible = false;
+  /// Set when Validate was requested and every schedule matched the
+  /// reference execution.
+  bool Validated = false;
+};
+
+/// Runs the full pipeline on \p K.
+OperatorReport runOperator(const Kernel &K, const PipelineOptions &Options);
+
+/// Schedules \p K with influence and finalizes vector marks.
+/// Exposed for examples that want the intermediate artifacts.
+SchedulerResult scheduleInfluenced(const Kernel &K,
+                                   const PipelineOptions &Options);
+
+/// The CUDA-like rendering of a scheduled kernel.
+std::string renderCuda(const Kernel &K, const Schedule &S,
+                       const GpuMappingOptions &Mapping);
+
+} // namespace pinj
+
+#endif // POLYINJECT_PIPELINE_PIPELINE_H

@@ -1,0 +1,69 @@
+//===- poly/Dependence.h - Data dependence analysis -------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact dependence relations between statement iterations (paper
+/// Section IV-A1): pairs of iterations touching the same memory cell,
+/// at least one writing, with the source executing first in the original
+/// program. The original execution order is the classic 2d+1 schedule
+/// encoded by Statement::OrigBeta; one relation is emitted per
+/// lexicographic level at which the order can be strict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_POLY_DEPENDENCE_H
+#define POLYINJECT_POLY_DEPENDENCE_H
+
+#include "ir/Kernel.h"
+#include "poly/Set.h"
+
+namespace pinj {
+
+/// The classic dependence classes.
+enum class DepKind {
+  Flow,   ///< read after write (RAW)
+  Anti,   ///< write after read (WAR)
+  Output, ///< write after write (WAW)
+  Input,  ///< read after read (RAR); only used by proximity
+};
+
+const char *depKindName(DepKind Kind);
+
+/// One dependence relation delta_{S->T}: a set over
+/// (source iters, target iters, params) of dependent iteration pairs.
+struct DependenceRelation {
+  unsigned SrcStmt = 0;
+  unsigned DstStmt = 0;
+  DepKind Kind = DepKind::Flow;
+  unsigned TensorId = 0;
+  AffineSet Rel;
+
+  /// True dependencies constrain validity; Input only guides proximity.
+  bool constrainsValidity() const { return Kind != DepKind::Input; }
+};
+
+/// Options for the analysis.
+struct DependenceOptions {
+  /// Also compute read-after-read relations (used by the proximity cost
+  /// when optimizing for reuse on reads, as the paper's Section IV-A2
+  /// allows).
+  bool IncludeInput = false;
+};
+
+/// Computes all dependence relations of \p K. Relations are pruned by a
+/// rational emptiness check (exact for the unit-coefficient accesses of
+/// the operator domain).
+std::vector<DependenceRelation>
+computeDependences(const Kernel &K,
+                   const DependenceOptions &Options = DependenceOptions());
+
+/// Renders a short human-readable summary ("X -> Y flow on B").
+std::string printDependence(const Kernel &K, const DependenceRelation &D);
+
+} // namespace pinj
+
+#endif // POLYINJECT_POLY_DEPENDENCE_H

@@ -1,0 +1,118 @@
+//===- sched/Schedule.cpp -------------------------------------------------===//
+
+#include "sched/Schedule.h"
+
+#include "ir/Printer.h"
+
+using namespace pinj;
+
+IntMatrix Schedule::iteratorPart(const Kernel &K, unsigned Stmt) const {
+  const Statement &S = K.Stmts[Stmt];
+  const IntMatrix &T = Transforms[Stmt];
+  IntMatrix H(T.numRows(), S.numIters());
+  for (unsigned R = 0, NR = T.numRows(); R != NR; ++R)
+    for (unsigned I = 0, NI = S.numIters(); I != NI; ++I)
+      H.at(R, I) = T.at(R, I);
+  return H;
+}
+
+IntVector Schedule::apply(const Kernel &K, unsigned Stmt,
+                          const IntVector &Iters,
+                          const IntVector &Params) const {
+  const Statement &S = K.Stmts[Stmt];
+  assert(Iters.size() == S.numIters() && "iteration vector width mismatch");
+  assert(Params.size() == K.numParams() && "parameter vector width mismatch");
+  IntVector Full;
+  Full.reserve(K.rowWidth(S));
+  Full.insert(Full.end(), Iters.begin(), Iters.end());
+  Full.insert(Full.end(), Params.begin(), Params.end());
+  Full.push_back(1);
+  return Transforms[Stmt].multiply(Full);
+}
+
+IntVector Schedule::differenceExpr(const Kernel &K,
+                                   const DependenceRelation &D,
+                                   unsigned Dim) const {
+  const Statement &Src = K.Stmts[D.SrcStmt];
+  const Statement &Dst = K.Stmts[D.DstStmt];
+  const IntVector &SrcRow = Transforms[D.SrcStmt].row(Dim);
+  const IntVector &DstRow = Transforms[D.DstStmt].row(Dim);
+  unsigned Width = D.Rel.space().width();
+  IntVector Expr(Width, 0);
+  // Source iterators occupy the first block of the relation space.
+  for (unsigned I = 0, E = Src.numIters(); I != E; ++I)
+    Expr[I] = checkedSub(Expr[I], SrcRow[I]);
+  for (unsigned I = 0, E = Dst.numIters(); I != E; ++I)
+    Expr[Src.numIters() + I] =
+        checkedAdd(Expr[Src.numIters() + I], DstRow[I]);
+  for (unsigned P = 0, E = K.numParams(); P != E; ++P) {
+    Int SrcCoeff = SrcRow[Src.numIters() + P];
+    Int DstCoeff = DstRow[Dst.numIters() + P];
+    Expr[D.Rel.space().NumDims + P] = checkedSub(DstCoeff, SrcCoeff);
+  }
+  Expr.back() = checkedSub(DstRow.back(), SrcRow.back());
+  return Expr;
+}
+
+bool Schedule::stronglySatisfiedAt(const Kernel &K,
+                                   const DependenceRelation &D,
+                                   unsigned Dim) const {
+  return D.Rel.isAlwaysAtLeast(differenceExpr(K, D, Dim), 1);
+}
+
+void pinj::annotateParallelism(const Kernel &K, Schedule &S) {
+  std::vector<DependenceRelation> Deps = computeDependences(K);
+  std::vector<bool> Carried(Deps.size(), false);
+  for (unsigned D = 0, ND = S.numDims(); D != ND; ++D) {
+    bool Parallel = true, ThreadParallel = true;
+    for (unsigned I = 0, E = Deps.size(); I != E; ++I) {
+      if (!Deps[I].constrainsValidity() || Carried[I])
+        continue;
+      if (Deps[I].Rel.isAlwaysZero(S.differenceExpr(K, Deps[I], D)))
+        continue;
+      Parallel = false;
+      if (Deps[I].SrcStmt == Deps[I].DstStmt)
+        ThreadParallel = false;
+    }
+    S.Dims[D].IsParallel = Parallel && !S.Dims[D].IsScalar;
+    S.Dims[D].ThreadParallel = ThreadParallel && !S.Dims[D].IsScalar;
+    for (unsigned I = 0, E = Deps.size(); I != E; ++I)
+      if (!Carried[I] && Deps[I].constrainsValidity() &&
+          S.stronglySatisfiedAt(K, Deps[I], D))
+        Carried[I] = true;
+  }
+}
+
+std::string Schedule::str(const Kernel &K) const {
+  std::string Out;
+  for (unsigned S = 0, NS = K.Stmts.size(); S != NS; ++S) {
+    const Statement &Stmt = K.Stmts[S];
+    Out += "theta_" + Stmt.Name + " = (";
+    for (unsigned D = 0, ND = numDims(); D != ND; ++D) {
+      if (D != 0)
+        Out += ", ";
+      Out +=
+          printAffineRow(Transforms[S].row(D), Stmt.IterNames, K.ParamNames);
+    }
+    Out += ")\n";
+  }
+  for (unsigned D = 0, ND = numDims(); D != ND; ++D) {
+    Out += "dim " + std::to_string(D) + ":";
+    if (Dims[D].BandStart)
+      Out += " band-start";
+    if (Dims[D].IsScalar)
+      Out += " scalar";
+    if (Dims[D].IsParallel)
+      Out += " parallel";
+    if (Dims[D].Influenced)
+      Out += " influenced";
+    if (!Dims[D].VectorStmts.empty()) {
+      Out += " vector(x" + std::to_string(Dims[D].VectorWidth) + ":";
+      for (unsigned S : Dims[D].VectorStmts)
+        Out += " " + K.Stmts[S].Name;
+      Out += ")";
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,527 @@
+//===- sched/Scheduler.cpp ------------------------------------------------===//
+
+#include "sched/Scheduler.h"
+
+#include "math/LinearAlgebra.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <tuple>
+
+using namespace pinj;
+
+namespace {
+
+/// Tarjan's strongly connected components over the statement graph whose
+/// edges are the active dependence relations. SCC ids are assigned in
+/// reverse topological order of the condensation, so ordering SCCs by
+/// descending id executes sources before targets; we re-normalize to a
+/// forward topological index below.
+class SccFinder {
+public:
+  SccFinder(unsigned NumNodes,
+            const std::vector<std::pair<unsigned, unsigned>> &Edges)
+      : Adjacency(NumNodes), State(NumNodes) {
+    for (auto &[Src, Dst] : Edges)
+      if (Src != Dst)
+        Adjacency[Src].push_back(Dst);
+    for (unsigned N = 0; N != NumNodes; ++N)
+      if (State[N].Index < 0)
+        visit(N);
+  }
+
+  unsigned numSccs() const { return SccCount; }
+
+  /// Topological position of the SCC containing \p Node: sources first.
+  unsigned topoIndex(unsigned Node) const {
+    // Tarjan emits SCCs in reverse topological order.
+    return SccCount - 1 - State[Node].Scc;
+  }
+
+private:
+  struct NodeState {
+    int Index = -1;
+    int LowLink = 0;
+    bool OnStack = false;
+    int Scc = -1;
+  };
+
+  void visit(unsigned Node) {
+    State[Node].Index = State[Node].LowLink = NextIndex++;
+    Stack.push_back(Node);
+    State[Node].OnStack = true;
+    for (unsigned Next : Adjacency[Node]) {
+      if (State[Next].Index < 0) {
+        visit(Next);
+        State[Node].LowLink =
+            std::min(State[Node].LowLink, State[Next].LowLink);
+      } else if (State[Next].OnStack) {
+        State[Node].LowLink =
+            std::min(State[Node].LowLink, State[Next].Index);
+      }
+    }
+    if (State[Node].LowLink != State[Node].Index)
+      return;
+    for (;;) {
+      unsigned Top = Stack.back();
+      Stack.pop_back();
+      State[Top].OnStack = false;
+      State[Top].Scc = SccCount;
+      if (Top == Node)
+        break;
+    }
+    ++SccCount;
+  }
+
+  std::vector<std::vector<unsigned>> Adjacency;
+  std::vector<NodeState> State;
+  std::vector<unsigned> Stack;
+  int NextIndex = 0;
+  int SccCount = 0;
+};
+
+/// One full scheduling construction (Algorithm 1). A fresh instance is
+/// used for the no-influence rerun when a tree is abandoned.
+class Construction {
+public:
+  Construction(const Kernel &K, const SchedulerOptions &Options,
+               const InfluenceTree *Tree)
+      : K(K), Options(Options), Tree(Tree) {
+    DependenceOptions DepOptions;
+    DepOptions.IncludeInput = Options.ProximityIncludesInput;
+    AllDeps = computeDependences(K, DepOptions);
+    for (unsigned I = 0, E = AllDeps.size(); I != E; ++I)
+      if (AllDeps[I].constrainsValidity())
+        Active.push_back(I);
+    Carried.assign(AllDeps.size(), std::nullopt);
+    Partial.Transforms.assign(K.Stmts.size(), IntMatrix());
+    for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S)
+      Partial.Transforms[S] = IntMatrix(0, K.rowWidth(K.Stmts[S]));
+  }
+
+  /// Runs the construction; \returns false if the influence tree had to
+  /// be abandoned (the caller reruns without a tree).
+  bool run(SchedulerResult &Result) {
+    Node = Tree && !Tree->empty()
+               ? const_cast<InfluenceTree *>(Tree)->firstScenario()
+               : nullptr;
+    if (Options.SerializeSccs)
+      serializeSccsUpfront();
+
+    // Set POLYINJECT_TRACE=1 to trace the construction on stderr.
+    static const bool Trace = std::getenv("POLYINJECT_TRACE") != nullptr;
+    bool ProgressionDisabled = false;
+    while (!done()) {
+      if (Trace)
+        std::fprintf(stderr,
+                     "[sched] dim=%zu node=%s active=%zu fullrank=%d "
+                     "nop=%d\n",
+                     Partial.Dims.size(),
+                     Node ? Node->Label.c_str() : "-", Active.size(),
+                     (int)allFullRank(), (int)ProgressionDisabled);
+      if (Partial.Dims.size() >= Options.MaxDims)
+        fatalError("scheduling exceeded the dimension limit");
+      unsigned D = Partial.Dims.size();
+      if (Backups.size() <= D)
+        Backups.resize(D + 1);
+      if (!Backups[D].Recorded) {
+        Backups[D].Active = Active;
+        Backups[D].Recorded = true;
+      }
+
+      IlpResult Solution = attempt(ProgressionDisabled);
+      if (Solution.isOptimal() && accept(Solution)) {
+        ProgressionDisabled = false;
+        continue;
+      }
+
+      // Fallback 1: influence requests a supplementary dimension.
+      if (Active.empty() && Node && !ProgressionDisabled) {
+        ProgressionDisabled = true;
+        ++Stats.ProgressionDrops;
+        continue;
+      }
+      // Fallback 2: next sibling scenario at the same depth.
+      if (Node && Node->rightSibling()) {
+        Node = Node->rightSibling();
+        Active = Backups[D].Active;
+        ProgressionDisabled = false;
+        ++Stats.SiblingMoves;
+        continue;
+      }
+      // Fallback 3: end the permutable band by dropping carried deps.
+      if (dropCarriedDeps()) {
+        ProgressionDisabled = false;
+        NextStartsBand = true;
+        ++Stats.BandBreaks;
+        continue;
+      }
+      // Feautrier-style dimension: strongly satisfy as many active
+      // relations as possible (optional; the isl mechanism the paper
+      // mentions in Section IV-B).
+      if (Options.UseFeautrierFallback && !Active.empty() &&
+          attemptFeautrier()) {
+        ProgressionDisabled = false;
+        ++Stats.FeautrierDims;
+        continue;
+      }
+      // Fallback 4: backtrack to the closest ancestor sibling.
+      if (Node && backtrackToAncestorSibling()) {
+        ProgressionDisabled = false;
+        ++Stats.AncestorBacktracks;
+        continue;
+      }
+      // Fallback 5: separate strongly connected components.
+      if (separateSccs()) {
+        ProgressionDisabled = false;
+        ++Stats.SccCuts;
+        continue;
+      }
+      // Self-dependences on full-rank statements are totally ordered by
+      // the (injective, per-dimension nonnegative) schedule even when
+      // the conservative carried test cannot prove it; drop them.
+      if (dropResolvedSelfDeps())
+        continue;
+      // Ultimately: abandon the influence tree entirely.
+      if (Node || Tree) {
+        Stats.TreeAbandoned = true;
+        return false;
+      }
+      fatalError("scheduling construction is stuck");
+    }
+    Result.Sched = Partial;
+    Result.Stats = Stats;
+    Result.ReachedLeaf = ReachedLeaf;
+    return true;
+  }
+
+private:
+  bool allFullRank() const {
+    for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
+      IntMatrix H = Partial.iteratorPart(K, S);
+      IntMatrix NonZero(0, K.Stmts[S].numIters());
+      for (unsigned R = 0, NR = H.numRows(); R != NR; ++R)
+        if (!isZeroVector(H.row(R)))
+          NonZero.appendRow(H.row(R));
+      if (matrixRank(NonZero) < K.Stmts[S].numIters())
+        return false;
+    }
+    return true;
+  }
+
+  bool done() const {
+    if (Node)
+      return false; // The tree still wants dimensions.
+    return Active.empty() && allFullRank();
+  }
+
+  IlpResult attempt(bool ProgressionDisabled) {
+    // With every statement at full rank, progression is unsatisfiable by
+    // definition (no linearly independent dimension remains); report the
+    // failure without solving so the fallback chain runs, exactly as a
+    // progression-constrained ILP would fail.
+    if (!ProgressionDisabled && allFullRank()) {
+      ++Stats.IlpSolves;
+      ++Stats.IlpFailures;
+      return IlpResult();
+    }
+    DimIlp Ilp = makeDimIlp(K, Options);
+    if (!ProgressionDisabled)
+      for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S)
+        addProgression(Ilp, K, Partial, S);
+    for (unsigned Dep : Active)
+      addValidity(Ilp, K, AllDeps[Dep]);
+    // Proximity: active flow relations plus all input relations.
+    for (unsigned Dep : Active)
+      if (AllDeps[Dep].Kind == DepKind::Flow)
+        addProximity(Ilp, K, AllDeps[Dep]);
+    for (unsigned I = 0, E = AllDeps.size(); I != E; ++I)
+      if (AllDeps[I].Kind == DepKind::Input)
+        addProximity(Ilp, K, AllDeps[I]);
+    if (Node)
+      addInfluence(Ilp, K, *Node, Partial, Partial.Dims.size());
+    addObjectives(Ilp, K, Options, Node, Partial.Dims.size());
+    ++Stats.IlpSolves;
+    IlpResult R = Ilp.Builder.solve();
+    Stats.IlpNodes += R.NodesExplored;
+    if (!R.isOptimal())
+      ++Stats.IlpFailures;
+    else
+      LastIlp = std::move(Ilp);
+    return R;
+  }
+
+  /// Installs a solved dimension; \returns false (withdrawing the
+  /// rows) when the node's meta-requirements reject it.
+  bool accept(const IlpResult &Solution) {
+    unsigned D = Partial.Dims.size();
+    appendSolution(LastIlp, Solution, K, Partial);
+    DimInfo Info;
+    Info.BandStart = NextStartsBand;
+    std::tie(Info.IsParallel, Info.ThreadParallel) = dimParallelism(D);
+    if (Node && Node->RequireParallel && !Info.IsParallel) {
+      // Meta-constraint failure: treat exactly like an infeasible ILP.
+      for (IntMatrix &T : Partial.Transforms)
+        T.truncateRows(D);
+      ++Stats.MetaRejections;
+      return false;
+    }
+    if (Node) {
+      Info.Influenced = !Node->Constraints.empty();
+      Info.VectorStmts = Node->VectorStmts;
+      Info.VectorWidth = Node->VectorWidth;
+    }
+    Partial.Dims.push_back(std::move(Info));
+    NextStartsBand = false;
+    updateCarried(D);
+    if (Node) {
+      if (Node->isLeaf()) {
+        ReachedLeaf = Node;
+        Node = nullptr; // Tree contribution terminated.
+      } else {
+        Node = Node->Children.front().get();
+      }
+    }
+    return true;
+  }
+
+  /// Builds a Feautrier-style dimension: maximize the number of active
+  /// relations strongly satisfied, then the usual tie-breakers; accept
+  /// only if at least one relation is carried (guaranteeing progress).
+  bool attemptFeautrier() {
+    DimIlp Ilp = makeDimIlp(K, Options);
+    std::vector<const DependenceRelation *> Deps;
+    for (unsigned Dep : Active)
+      Deps.push_back(&AllDeps[Dep]);
+    addFeautrierSatisfaction(Ilp, K, Deps);
+    addObjectives(Ilp, K, Options);
+    ++Stats.IlpSolves;
+    IlpResult R = Ilp.Builder.solve();
+    Stats.IlpNodes += R.NodesExplored;
+    if (!R.isOptimal()) {
+      ++Stats.IlpFailures;
+      return false;
+    }
+    // The first objective level minimized the number of unsatisfied
+    // relations; demand strict progress.
+    if (R.Value >= Rational(static_cast<Int>(Deps.size())))
+      return false;
+    LastIlp = std::move(Ilp);
+    unsigned D = Partial.Dims.size();
+    appendSolution(LastIlp, R, K, Partial);
+    DimInfo Info;
+    std::tie(Info.IsParallel, Info.ThreadParallel) = dimParallelism(D);
+    Partial.Dims.push_back(std::move(Info));
+    updateCarried(D);
+    dropCarriedDeps();
+    return true;
+  }
+
+  /// \returns {fully parallel, parallel up to intra-block sync}.
+  std::pair<bool, bool> dimParallelism(unsigned D) const {
+    bool Parallel = true, ThreadParallel = true;
+    for (unsigned I = 0, E = AllDeps.size(); I != E; ++I) {
+      const DependenceRelation &Dep = AllDeps[I];
+      if (!Dep.constrainsValidity() || Carried[I])
+        continue;
+      if (Dep.Rel.isAlwaysZero(Partial.differenceExpr(K, Dep, D)))
+        continue;
+      Parallel = false;
+      // Inter-statement differences are resolvable with guards plus
+      // __syncthreads inside a block; loop-carried self-dependences
+      // are not.
+      if (Dep.SrcStmt == Dep.DstStmt)
+        ThreadParallel = false;
+    }
+    return {Parallel, ThreadParallel};
+  }
+
+  void updateCarried(unsigned D) {
+    for (unsigned I = 0, E = AllDeps.size(); I != E; ++I) {
+      if (Carried[I] || !AllDeps[I].constrainsValidity())
+        continue;
+      if (Partial.stronglySatisfiedAt(K, AllDeps[I], D))
+        Carried[I] = D;
+    }
+  }
+
+  /// Recomputes Carried from scratch (after withdrawing dimensions).
+  void recomputeCarried() {
+    Carried.assign(AllDeps.size(), std::nullopt);
+    for (unsigned D = 0, ND = Partial.Dims.size(); D != ND; ++D)
+      updateCarried(D);
+  }
+
+  bool dropCarriedDeps() {
+    unsigned Before = Active.size();
+    Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                [this](unsigned Dep) {
+                                  return Carried[Dep].has_value();
+                                }),
+                 Active.end());
+    return Active.size() != Before;
+  }
+
+  bool dropResolvedSelfDeps() {
+    if (!allFullRank())
+      return false;
+    unsigned Before = Active.size();
+    Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                [this](unsigned Dep) {
+                                  return AllDeps[Dep].SrcStmt ==
+                                         AllDeps[Dep].DstStmt;
+                                }),
+                 Active.end());
+    return Active.size() != Before;
+  }
+
+  bool backtrackToAncestorSibling() {
+    for (InfluenceNode *Ancestor = Node->Parent;
+         Ancestor && Ancestor->Parent; Ancestor = Ancestor->Parent) {
+      InfluenceNode *Sibling = Ancestor->rightSibling();
+      if (!Sibling)
+        continue;
+      unsigned NewDepth = Sibling->Depth;
+      if (NewDepth >= Partial.Dims.size())
+        continue;
+      // Withdraw dimensions >= NewDepth.
+      for (IntMatrix &T : Partial.Transforms)
+        T.truncateRows(NewDepth);
+      Partial.Dims.resize(NewDepth);
+      recomputeCarried();
+      assert(Backups.size() > NewDepth && Backups[NewDepth].Recorded &&
+             "missing backup for backtracked depth");
+      Active = Backups[NewDepth].Active;
+      for (unsigned B = NewDepth + 1; B < Backups.size(); ++B)
+        Backups[B].Recorded = false;
+      Node = Sibling;
+      return true;
+    }
+    return false;
+  }
+
+  /// Appends one scalar dimension ordering \p TopoIndex per statement
+  /// and retires the relations it carries.
+  void appendScalarDim(const std::vector<unsigned> &TopoIndex) {
+    unsigned D = Partial.Dims.size();
+    for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
+      IntVector Row(K.rowWidth(K.Stmts[S]), 0);
+      Row.back() = TopoIndex[S];
+      Partial.Transforms[S].appendRow(Row);
+    }
+    DimInfo Info;
+    Info.IsScalar = true;
+    Partial.Dims.push_back(Info);
+    NextStartsBand = true; // Whatever follows opens a new band.
+    updateCarried(D);
+    dropCarriedDeps();
+  }
+
+  bool separateSccs() {
+    std::vector<std::pair<unsigned, unsigned>> Edges;
+    for (unsigned Dep : Active)
+      Edges.emplace_back(AllDeps[Dep].SrcStmt, AllDeps[Dep].DstStmt);
+    SccFinder Sccs(K.Stmts.size(), Edges);
+    if (Sccs.numSccs() < 2)
+      return false;
+    // The cut only helps if some live relation actually crosses
+    // components; otherwise it would insert useless scalar dimensions
+    // forever instead of letting the construction abandon the tree.
+    bool Separates = false;
+    for (unsigned Dep : Active)
+      if (Sccs.topoIndex(AllDeps[Dep].SrcStmt) !=
+          Sccs.topoIndex(AllDeps[Dep].DstStmt))
+        Separates = true;
+    if (!Separates)
+      return false;
+    std::vector<unsigned> Topo(K.Stmts.size());
+    for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S)
+      Topo[S] = Sccs.topoIndex(S);
+    appendScalarDim(Topo);
+    return true;
+  }
+
+  void serializeSccsUpfront() {
+    // The reference scheduler fuses same-depth components (as isl's
+    // clustering does for element-wise chains) but declines to fuse
+    // components of different loop depth — the behaviour observed on
+    // the paper's running example, Fig. 2(b), where the 2-deep X nest
+    // and the 3-deep Y nest stay distributed. Consecutive SCCs in
+    // topological order share a scalar value while their depth matches.
+    std::vector<std::pair<unsigned, unsigned>> Edges;
+    for (unsigned Dep : Active)
+      Edges.emplace_back(AllDeps[Dep].SrcStmt, AllDeps[Dep].DstStmt);
+    SccFinder Sccs(K.Stmts.size(), Edges);
+    if (Sccs.numSccs() < 2)
+      return;
+    // Depth of each SCC (max member depth), in topological order.
+    std::vector<unsigned> SccDepth(Sccs.numSccs(), 0);
+    std::vector<unsigned> StmtScc(K.Stmts.size());
+    for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
+      unsigned Scc = Sccs.topoIndex(S);
+      StmtScc[S] = Scc;
+      SccDepth[Scc] = std::max(SccDepth[Scc], K.Stmts[S].numIters());
+    }
+    std::vector<unsigned> SccGroup(Sccs.numSccs(), 0);
+    unsigned Group = 0;
+    for (unsigned Scc = 1; Scc != SccDepth.size(); ++Scc) {
+      if (SccDepth[Scc] != SccDepth[Scc - 1])
+        ++Group;
+      SccGroup[Scc] = Group;
+    }
+    if (Group == 0)
+      return; // All components share a depth: let fusion proceed.
+    std::vector<unsigned> Topo(K.Stmts.size());
+    for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S)
+      Topo[S] = SccGroup[StmtScc[S]];
+    appendScalarDim(Topo);
+    ++Stats.SccCuts;
+  }
+
+  struct Backup {
+    std::vector<unsigned> Active;
+    bool Recorded = false;
+  };
+
+  const Kernel &K;
+  const SchedulerOptions &Options;
+  const InfluenceTree *Tree;
+
+  std::vector<DependenceRelation> AllDeps;
+  std::vector<unsigned> Active; ///< Indices of live validity relations.
+  std::vector<std::optional<unsigned>> Carried;
+  Schedule Partial;
+  std::vector<Backup> Backups;
+  InfluenceNode *Node = nullptr;
+  bool NextStartsBand = true; ///< The next accepted dim opens a band.
+  const InfluenceNode *ReachedLeaf = nullptr;
+  SchedulerStats Stats;
+  DimIlp LastIlp;
+};
+
+} // namespace
+
+SchedulerResult pinj::scheduleKernel(const Kernel &K,
+                                     const SchedulerOptions &Options,
+                                     const InfluenceTree *Tree) {
+  {
+    Construction C(K, Options, Tree);
+    SchedulerResult Result;
+    if (C.run(Result))
+      return Result;
+  }
+  // The tree was abandoned: run as a plain polyhedral scheduler, in the
+  // reference (isl-like) configuration, as the paper specifies.
+  SchedulerOptions Plain = Options;
+  Plain.SerializeSccs = true;
+  Construction C(K, Plain, nullptr);
+  SchedulerResult Result;
+  bool Ok = C.run(Result);
+  assert(Ok && "plain scheduling must not fail");
+  (void)Ok;
+  Result.Stats.TreeAbandoned = true;
+  return Result;
+}

@@ -1,0 +1,50 @@
+//===- support/Support.cpp ------------------------------------------------===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+#include <execinfo.h>
+
+using namespace pinj;
+
+void pinj::fatalError(const char *Message) {
+  std::fprintf(stderr, "polyinject fatal error: %s\n", Message);
+  // Best-effort backtrace to make internal-invariant reports actionable.
+  void *Frames[32];
+  int Depth = backtrace(Frames, 32);
+  backtrace_symbols_fd(Frames, Depth, /*stderr=*/2);
+  std::abort();
+}
+
+Int pinj::gcdInt(Int A, Int B) {
+  if (A < 0)
+    A = checkedNeg(A);
+  if (B < 0)
+    B = checkedNeg(B);
+  while (B != 0) {
+    Int T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+Int pinj::lcmInt(Int A, Int B) {
+  if (A == 0 || B == 0)
+    return 0;
+  Int G = gcdInt(A, B);
+  Int AbsA = A < 0 ? checkedNeg(A) : A;
+  Int AbsB = B < 0 ? checkedNeg(B) : B;
+  return checkedMul(AbsA / G, AbsB);
+}
+
+std::string pinj::joinStrings(const std::vector<std::string> &Parts,
+                              const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}

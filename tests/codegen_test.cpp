@@ -1,0 +1,230 @@
+//===- tests/codegen_test.cpp - codegen/ unit tests -----------------------===//
+
+#include "codegen/Ast.h"
+#include "codegen/Mapping.h"
+#include "codegen/Vectorizer.h"
+#include "influence/TreeBuilder.h"
+#include "sched/Scheduler.h"
+#include "TestKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+namespace {
+
+SchedulerOptions baseline() {
+  SchedulerOptions O;
+  O.SerializeSccs = true;
+  return O;
+}
+
+Schedule influencedSchedule(const Kernel &K) {
+  InfluenceTree Tree = buildInfluenceTree(K, InfluenceOptions());
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  return R.Sched;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Row analysis
+//===----------------------------------------------------------------------===//
+
+TEST(RowAnalysis, UnitZeroAndShift) {
+  Kernel K = makeRunningExample(8);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  // Dim 0 is the scalar SCC dimension: zero rows with shifts 0 and 1.
+  RowShape X0 = analyzeRow(K, R.Sched, 0, 0);
+  EXPECT_EQ(X0.Kind, RowShape::Zero);
+  EXPECT_EQ(X0.Shift, 0);
+  RowShape Y0 = analyzeRow(K, R.Sched, 1, 0);
+  EXPECT_EQ(Y0.Kind, RowShape::Zero);
+  EXPECT_EQ(Y0.Shift, 1);
+  // Dim 1 binds i for both statements.
+  RowShape X1 = analyzeRow(K, R.Sched, 0, 1);
+  EXPECT_EQ(X1.Kind, RowShape::Unit);
+  EXPECT_EQ(X1.Iter, 0u);
+  EXPECT_TRUE(isGeneratableSchedule(K, R.Sched));
+}
+
+TEST(RowAnalysis, DetectsNonUnitRows) {
+  Kernel K = makeElementwise(4, 4);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  Schedule Bad = R.Sched;
+  Bad.Transforms[0].at(0, 1) = 1; // Row becomes i + j.
+  EXPECT_EQ(analyzeRow(K, Bad, 0, 0).Kind, RowShape::Other);
+  EXPECT_FALSE(isGeneratableSchedule(K, Bad));
+}
+
+//===----------------------------------------------------------------------===//
+// Mapping
+//===----------------------------------------------------------------------===//
+
+TEST(Mapping, ElementwiseThreadsAndBlocks) {
+  Kernel K = makeElementwise(128, 256);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  MappedKernel M = mapToGpu(K, R.Sched);
+  ASSERT_EQ(M.Dims.size(), 2u);
+  // Innermost parallel dim j becomes threads (256 <= 1024), then i
+  // partially (1024/256 = 4 lanes).
+  EXPECT_EQ(M.Dims[1].Role, DimRole::Thread);
+  EXPECT_EQ(M.Dims[1].ThreadCount, 256);
+  EXPECT_EQ(M.Dims[0].Role, DimRole::Thread);
+  EXPECT_EQ(M.Dims[0].ThreadCount, 4);
+  EXPECT_EQ(M.Dims[0].BlockFactor, 32);
+  EXPECT_EQ(M.threadsPerBlock(), 1024);
+  EXPECT_EQ(M.numBlocks(), 32);
+}
+
+TEST(Mapping, ReductionStaysSequential) {
+  Kernel K = makeRowReduction(64, 128);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  MappedKernel M = mapToGpu(K, R.Sched);
+  EXPECT_EQ(M.Dims[0].Role, DimRole::Thread); // i parallel.
+  EXPECT_EQ(M.Dims[1].Role, DimRole::Seq);    // j reduction.
+}
+
+TEST(Mapping, VectorDimStripMinedToLanes) {
+  Kernel K = makeRunningExample(64);
+  Schedule S = influencedSchedule(K);
+  ASSERT_GT(finalizeVectorMarks(K, S), 0u);
+  MappedKernel M = mapToGpu(K, S);
+  // Dim 2 (j) is the vector dim: 64/4 = 16 lane groups.
+  EXPECT_EQ(M.Dims[2].Role, DimRole::Vector);
+  EXPECT_EQ(M.Dims[2].VectorWidth, 4u);
+  EXPECT_EQ(M.Dims[2].ThreadCount, 16);
+  // Scalar dim keeps its role.
+  EXPECT_EQ(M.Dims[3].Role, DimRole::Scalar);
+  // Iterator bindings recorded.
+  EXPECT_EQ(M.IterDim[1][1], 2); // Y's j -> dim 2.
+}
+
+TEST(Mapping, IterDimBindings) {
+  Kernel K = makeElementwise(8, 8);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  MappedKernel M = mapToGpu(K, R.Sched);
+  EXPECT_EQ(M.IterDim[0][0], 0);
+  EXPECT_EQ(M.IterDim[0][1], 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Vector mark finalization
+//===----------------------------------------------------------------------===//
+
+TEST(Vectorizer, DisableClearsMarks) {
+  Kernel K = makeRunningExample(64);
+  Schedule S = influencedSchedule(K);
+  EXPECT_EQ(finalizeVectorMarks(K, S, /*DisableVectorization=*/true), 0u);
+  for (const DimInfo &D : S.Dims) {
+    EXPECT_TRUE(D.VectorStmts.empty());
+    EXPECT_EQ(D.VectorWidth, 0u);
+  }
+}
+
+TEST(Vectorizer, KeepsValidMark) {
+  Kernel K = makeRunningExample(64);
+  Schedule S = influencedSchedule(K);
+  EXPECT_EQ(finalizeVectorMarks(K, S), 1u);
+  EXPECT_TRUE(S.Dims[2].isVectorFor(1));
+  EXPECT_EQ(S.Dims[2].VectorWidth, 4u);
+}
+
+TEST(Vectorizer, NarrowsWidthForNonDivisibleExtent) {
+  // Extent 6: float4 impossible, float2 fits.
+  Kernel K = makeElementwise(8, 6);
+  Schedule S = influencedSchedule(K);
+  unsigned Marks = finalizeVectorMarks(K, S);
+  if (Marks > 0) {
+    for (const DimInfo &D : S.Dims) {
+      if (!D.VectorStmts.empty()) {
+        EXPECT_EQ(D.VectorWidth, 2u);
+      }
+    }
+  }
+}
+
+TEST(Vectorizer, RejectsLoopCarriedDimension) {
+  // Hand-mark the reduction dimension as vector: finalize must clear it.
+  Kernel K = makeRowReduction(8, 16);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  Schedule S = R.Sched;
+  S.Dims[1].VectorWidth = 4;
+  S.Dims[1].VectorStmts = {0};
+  EXPECT_EQ(finalizeVectorMarks(K, S), 0u);
+  EXPECT_EQ(S.Dims[1].VectorWidth, 0u);
+}
+
+TEST(Vectorizer, RejectsNonInnermostDimension) {
+  Kernel K = makeElementwise(16, 16);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  Schedule S = R.Sched;
+  S.Dims[0].VectorWidth = 4; // i is not the innermost loop.
+  S.Dims[0].VectorStmts = {0};
+  EXPECT_EQ(finalizeVectorMarks(K, S), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// AST and printers
+//===----------------------------------------------------------------------===//
+
+TEST(Ast, RunningExampleBaselineStructure) {
+  Kernel K = makeRunningExample(8);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  MappedKernel M = mapToGpu(K, R.Sched);
+  std::string Text = printAst(M);
+  // Two distributed nests: X's appears before Y's.
+  size_t XPos = Text.find("X:");
+  size_t YPos = Text.find("Y:");
+  ASSERT_NE(XPos, std::string::npos);
+  ASSERT_NE(YPos, std::string::npos);
+  EXPECT_LT(XPos, YPos);
+}
+
+TEST(Ast, RunningExampleInfluencedStructure) {
+  Kernel K = makeRunningExample(64);
+  Schedule S = influencedSchedule(K);
+  finalizeVectorMarks(K, S);
+  MappedKernel M = mapToGpu(K, S);
+  std::string Text = printAst(M);
+  // The influenced nest fuses X and Y: X before the vectorized loop.
+  size_t XPos = Text.find("X:");
+  size_t VecPos = Text.find("forvec");
+  size_t YPos = Text.find("Y:");
+  ASSERT_NE(XPos, std::string::npos);
+  ASSERT_NE(VecPos, std::string::npos);
+  ASSERT_NE(YPos, std::string::npos);
+  EXPECT_LT(XPos, VecPos);
+  EXPECT_LT(VecPos, YPos);
+}
+
+TEST(Ast, MixedDimPlacesProducerBeforeLoop) {
+  Kernel K = makeRunningExample(8);
+  InfluenceTree Tree = buildInfluenceTree(K, InfluenceOptions());
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  MappedKernel M = mapToGpu(K, R.Sched);
+  std::unique_ptr<AstNode> Root = buildAst(M);
+  ASSERT_NE(Root, nullptr);
+}
+
+TEST(CudaPrinter, ContainsBindingsAndVectorTypes) {
+  Kernel K = makeRunningExample(64);
+  Schedule S = influencedSchedule(K);
+  finalizeVectorMarks(K, S);
+  MappedKernel M = mapToGpu(K, S);
+  std::string Cuda = printCuda(M);
+  EXPECT_NE(Cuda.find("__global__"), std::string::npos);
+  EXPECT_NE(Cuda.find("threadIdx"), std::string::npos);
+  EXPECT_NE(Cuda.find("float4"), std::string::npos);
+  EXPECT_NE(Cuda.find("fused_mul_sub_mul_tensoradd_kernel"),
+            std::string::npos);
+}
+
+TEST(CudaPrinter, ScalarKernelHasNoVectorTypes) {
+  Kernel K = makeRowReduction(64, 64);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  MappedKernel M = mapToGpu(K, R.Sched);
+  std::string Cuda = printCuda(M);
+  EXPECT_EQ(Cuda.find("float4"), std::string::npos);
+  EXPECT_NE(Cuda.find("for (int j"), std::string::npos);
+}

@@ -1,0 +1,278 @@
+//===- tests/exec_test.cpp - interpreter and semantic validation ----------===//
+
+#include "exec/Interpreter.h"
+#include "influence/TreeBuilder.h"
+
+#include <algorithm>
+#include <cmath>
+#include "sched/Scheduler.h"
+#include "TestKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+namespace {
+
+SchedulerOptions baseline() {
+  SchedulerOptions O;
+  O.SerializeSccs = true;
+  return O;
+}
+
+} // namespace
+
+TEST(Interpreter, MakeInputsDeterministic) {
+  Kernel K = makeElementwise(4, 4);
+  ExecBuffers A = makeInputs(K, 7);
+  ExecBuffers B = makeInputs(K, 7);
+  EXPECT_TRUE(buffersAlmostEqual(A, B, 0.0));
+  ExecBuffers C = makeInputs(K, 8);
+  EXPECT_FALSE(buffersAlmostEqual(A, C, 0.0));
+}
+
+TEST(Interpreter, OriginalExecutionElementwise) {
+  Kernel K = makeElementwise(2, 3);
+  ExecBuffers Buffers = makeInputs(K, 1);
+  std::vector<double> In = Buffers.Tensors[0];
+  runOriginal(K, Buffers);
+  for (unsigned I = 0; I != 6; ++I)
+    EXPECT_DOUBLE_EQ(Buffers.Tensors[1][I], std::max(In[I], 0.0));
+}
+
+TEST(Interpreter, OriginalExecutionTranspose) {
+  Kernel K = makeTranspose(3, 4);
+  ExecBuffers Buffers = makeInputs(K, 2);
+  std::vector<double> In = Buffers.Tensors[0]; // IN is 4x3.
+  runOriginal(K, Buffers);
+  for (Int I = 0; I != 3; ++I)
+    for (Int J = 0; J != 4; ++J)
+      EXPECT_DOUBLE_EQ(Buffers.Tensors[1][I * 4 + J], In[J * 3 + I]);
+}
+
+TEST(Interpreter, ReductionAccumulates) {
+  Kernel K = makeRowReduction(2, 4);
+  ExecBuffers Buffers = makeInputs(K, 3);
+  std::vector<double> In = Buffers.Tensors[0];
+  std::vector<double> Out0 = Buffers.Tensors[2];
+  runOriginal(K, Buffers);
+  for (Int I = 0; I != 2; ++I) {
+    double Expected = Out0[I];
+    for (Int J = 0; J != 4; ++J)
+      Expected += In[I * 4 + J] * Buffers.Tensors[1][0];
+    EXPECT_NEAR(Buffers.Tensors[2][I], Expected, 1e-12);
+  }
+}
+
+TEST(Interpreter, ScheduledMatchesOriginalBaseline) {
+  for (Kernel K : {makeRunningExample(6), makeProducerConsumer(5, 7),
+                   makeRowReduction(4, 6), makeTranspose(5, 5)}) {
+    SchedulerResult R = scheduleKernel(K, baseline());
+    EXPECT_TRUE(scheduleIsSemanticallyEqual(K, R.Sched)) << K.Name;
+  }
+}
+
+TEST(Interpreter, ScheduledMatchesOriginalInfluenced) {
+  for (Kernel K : {makeRunningExample(8), makeProducerConsumer(4, 8),
+                   makeRowReduction(4, 8)}) {
+    InfluenceTree Tree = buildInfluenceTree(K, InfluenceOptions());
+    SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+    EXPECT_TRUE(scheduleIsSemanticallyEqual(K, R.Sched)) << K.Name;
+  }
+}
+
+TEST(Interpreter, DetectsBrokenSchedule) {
+  // Reverse the producer/consumer order: consumer before producer reads
+  // stale values, which the comparison must detect.
+  Kernel K = makeProducerConsumer(4, 4);
+  SchedulerResult R = scheduleKernel(K, baseline());
+  Schedule Broken = R.Sched;
+  // Swap the scalar ordering: P gets 1, Q gets 0.
+  Broken.Transforms[0].at(0, Broken.Transforms[0].numCols() - 1) = 1;
+  Broken.Transforms[1].at(0, Broken.Transforms[1].numCols() - 1) = 0;
+  EXPECT_FALSE(scheduleIsSemanticallyEqual(K, Broken));
+}
+
+TEST(Interpreter, BuffersAlmostEqualTolerance) {
+  Kernel K = makeElementwise(2, 2);
+  ExecBuffers A = makeInputs(K, 1);
+  ExecBuffers B = A;
+  B.Tensors[0][0] += 1e-12;
+  EXPECT_TRUE(buffersAlmostEqual(A, B, 1e-9));
+  B.Tensors[0][0] += 1.0;
+  EXPECT_FALSE(buffersAlmostEqual(A, B, 1e-9));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: random seeds, every family, baseline and influenced
+// schedules preserve semantics.
+//===----------------------------------------------------------------------===//
+
+class SemanticsProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SemanticsProperty, SchedulePreservesSemantics) {
+  int Family = std::get<0>(GetParam());
+  unsigned Seed = static_cast<unsigned>(std::get<1>(GetParam()));
+  Kernel K = [&] {
+    switch (Family) {
+    case 0:
+      return makeElementwise(4, 8);
+    case 1:
+      return makeTranspose(6, 4);
+    case 2:
+      return makeProducerConsumer(4, 8);
+    case 3:
+      return makeRowReduction(3, 8);
+    default:
+      return makeRunningExample(8);
+    }
+  }();
+  SchedulerResult Base = scheduleKernel(K, baseline());
+  EXPECT_TRUE(scheduleIsSemanticallyEqual(K, Base.Sched, Seed));
+  InfluenceTree Tree = buildInfluenceTree(K, InfluenceOptions());
+  SchedulerResult Infl = scheduleKernel(K, SchedulerOptions(), &Tree);
+  EXPECT_TRUE(scheduleIsSemanticallyEqual(K, Infl.Sched, Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesBySeed, SemanticsProperty,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(1, 2, 3)));
+
+//===----------------------------------------------------------------------===//
+// Empirical validation of the parallel marking: iterations of a
+// dimension marked IsParallel may execute in any order, so remapping
+// that dimension's date through a random permutation must not change
+// the result.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Executes K under S with every parallel dimension's date values
+/// shuffled by a seeded permutation, then compares with the original
+/// order.
+bool parallelMarksHold(const Kernel &K, const Schedule &S, unsigned Seed) {
+  // Permute date values per parallel dim: v -> (a*v + b) mod M with a
+  // coprime to M is a simple seeded bijection on [0, M).
+  std::vector<Int> Extent(S.numDims(), 0);
+  for (unsigned Stmt = 0; Stmt != K.Stmts.size(); ++Stmt)
+    for (unsigned D = 0; D != S.numDims(); ++D)
+      for (unsigned I = 0; I != K.Stmts[Stmt].numIters(); ++I)
+        if (S.Transforms[Stmt].at(D, I) != 0)
+          Extent[D] = std::max(Extent[D], K.Stmts[Stmt].Extents[I]);
+
+  struct Instance {
+    IntVector Date;
+    unsigned Stmt;
+    IntVector Iters;
+  };
+  std::vector<Instance> Instances;
+  for (unsigned Stmt = 0; Stmt != K.Stmts.size(); ++Stmt) {
+    const Statement &St = K.Stmts[Stmt];
+    IntVector Iters(St.numIters(), 0);
+    for (;;) {
+      IntVector Date = S.apply(K, Stmt, Iters, {});
+      for (unsigned D = 0; D != S.numDims(); ++D) {
+        if (!S.Dims[D].IsParallel || Extent[D] <= 1)
+          continue;
+        Int M = Extent[D];
+        Int A = 1 + 2 * ((Seed + D) % 5); // Odd: coprime to 2^k; for
+        while (gcdInt(A, M) != 1)         // other M walk to a unit.
+          A += 2;
+        Date[D] = (A * Date[D] + Seed % M) % M;
+      }
+      Instances.push_back({Date, Stmt, Iters});
+      unsigned D = St.numIters();
+      bool Done = true;
+      while (D-- > 0) {
+        if (++Iters[D] < St.Extents[D]) {
+          Done = false;
+          break;
+        }
+        Iters[D] = 0;
+      }
+      if (Done)
+        break;
+    }
+  }
+  std::stable_sort(Instances.begin(), Instances.end(),
+                   [](const Instance &A, const Instance &B) {
+                     if (A.Date != B.Date)
+                       return A.Date < B.Date;
+                     if (A.Stmt != B.Stmt)
+                       return A.Stmt < B.Stmt;
+                     return A.Iters < B.Iters;
+                   });
+  ExecBuffers Reference = makeInputs(K, Seed);
+  ExecBuffers Shuffled = Reference;
+  runOriginal(K, Reference);
+  // Execute the instances in the permuted date order with a local
+  // evaluator mirroring exec/Interpreter's statement semantics.
+  for (const auto &I : Instances) {
+    const Statement &St = K.Stmts[I.Stmt];
+    double Reads[3] = {0, 0, 0};
+    auto flatten = [&](const Access &A) {
+      const Tensor &T = K.Tensors[A.TensorId];
+      std::vector<Int> Strides = T.strides();
+      Int Offset = 0;
+      for (unsigned D = 0; D != A.Indices.size(); ++D) {
+        Int Index = A.Indices[D].back();
+        for (unsigned It = 0; It != St.numIters(); ++It)
+          Index += A.Indices[D][It] * I.Iters[It];
+        Offset += Index * Strides[D];
+      }
+      return Offset;
+    };
+    for (unsigned R = 0; R != St.Reads.size(); ++R)
+      Reads[R] = Shuffled.Tensors[St.Reads[R].TensorId]
+                     [flatten(St.Reads[R])];
+    double Value = 0;
+    switch (St.Kind) {
+    case OpKind::Assign: Value = Reads[0]; break;
+    case OpKind::Add: Value = Reads[0] + Reads[1]; break;
+    case OpKind::Sub: Value = Reads[0] - Reads[1]; break;
+    case OpKind::Mul: Value = Reads[0] * Reads[1]; break;
+    case OpKind::Div: Value = Reads[0] / Reads[1]; break;
+    case OpKind::Max: Value = std::max(Reads[0], Reads[1]); break;
+    case OpKind::Min: Value = std::min(Reads[0], Reads[1]); break;
+    case OpKind::Relu: Value = std::max(Reads[0], 0.0); break;
+    case OpKind::Exp: Value = std::exp(Reads[0]); break;
+    case OpKind::Rsqrt:
+      Value = 1.0 / std::sqrt(std::abs(Reads[0]) + 1.0);
+      break;
+    case OpKind::Neg: Value = -Reads[0]; break;
+    case OpKind::Fma: Value = Reads[0] + Reads[1] * Reads[2]; break;
+    case OpKind::MulSub: Value = (Reads[0] - Reads[1]) * Reads[2]; break;
+    }
+    Shuffled.Tensors[St.Write.TensorId][flatten(St.Write)] = Value;
+  }
+  return buffersAlmostEqual(Reference, Shuffled, 1e-6);
+}
+
+} // namespace
+
+class ParallelMarking
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelMarking, ShuffledParallelDimsPreserveSemantics) {
+  int Family = std::get<0>(GetParam());
+  unsigned Seed = static_cast<unsigned>(std::get<1>(GetParam()));
+  Kernel K = [&] {
+    switch (Family) {
+    case 0:
+      return makeElementwise(5, 7);
+    case 1:
+      return makeProducerConsumer(5, 6);
+    case 2:
+      return makeRowReduction(4, 6);
+    default:
+      return makeRunningExample(6);
+    }
+  }();
+  SchedulerResult R = scheduleKernel(K, baseline());
+  EXPECT_TRUE(parallelMarksHold(K, R.Sched, Seed)) << K.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ParallelMarking,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(3, 11)));

@@ -1,0 +1,109 @@
+//===- tests/ir_test.cpp - ir/ unit tests ---------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Kernel.h"
+#include "ir/Printer.h"
+#include "TestKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+TEST(Tensor, NumElementsAndStrides) {
+  Tensor T;
+  T.Name = "T";
+  T.Shape = {2, 3, 4};
+  EXPECT_EQ(T.numElements(), 24);
+  EXPECT_EQ(T.strides(), (std::vector<Int>{12, 4, 1}));
+  Tensor Scalar;
+  Scalar.Shape = {1};
+  EXPECT_EQ(Scalar.numElements(), 1);
+  EXPECT_EQ(Scalar.strides(), (std::vector<Int>{1}));
+}
+
+TEST(OpKind, OperandCounts) {
+  EXPECT_EQ(numOperands(OpKind::Assign), 1u);
+  EXPECT_EQ(numOperands(OpKind::Add), 2u);
+  EXPECT_EQ(numOperands(OpKind::Fma), 3u);
+  EXPECT_EQ(numOperands(OpKind::MulSub), 3u);
+  EXPECT_STREQ(opKindName(OpKind::Fma), "fma");
+}
+
+TEST(KernelBuilder, RunningExampleShape) {
+  Kernel K = makeRunningExample(8);
+  ASSERT_EQ(K.Stmts.size(), 2u);
+  EXPECT_EQ(K.Stmts[0].Name, "X");
+  EXPECT_EQ(K.Stmts[0].numIters(), 2u);
+  EXPECT_EQ(K.Stmts[1].numIters(), 3u);
+  EXPECT_EQ(K.Tensors.size(), 4u);
+  EXPECT_EQ(K.verify(), "");
+  // Betas: statement index as the first beta, zeros elsewhere.
+  EXPECT_EQ(K.Stmts[0].OrigBeta, (std::vector<Int>{0, 0, 0}));
+  EXPECT_EQ(K.Stmts[1].OrigBeta, (std::vector<Int>{1, 0, 0, 0}));
+}
+
+TEST(KernelBuilder, AccessRowsResolved) {
+  Kernel K = makeRunningExample(8);
+  const Statement &Y = K.Stmts[1];
+  // D[k][i][j]: rows over (i, j, k, 1).
+  const Access &D = Y.Reads[2];
+  EXPECT_EQ(D.Indices[0], (IntVector{0, 0, 1, 0})); // k
+  EXPECT_EQ(D.Indices[1], (IntVector{1, 0, 0, 0})); // i
+  EXPECT_EQ(D.Indices[2], (IntVector{0, 1, 0, 0})); // j
+}
+
+TEST(KernelBuilder, IndexExprWithConstant) {
+  KernelBuilder B("shifted");
+  unsigned T = B.tensor("T", {10});
+  unsigned O = B.tensor("O", {8});
+  B.stmt("S", {{"i", 8}})
+      .write(O, {"i"})
+      .read(T, {IndexExpr("i") + 2})
+      .op(OpKind::Assign);
+  Kernel K = B.build();
+  EXPECT_EQ(K.Stmts[0].Reads[0].Indices[0], (IntVector{1, 2}));
+}
+
+TEST(KernelVerify, CatchesBadArity) {
+  Kernel K = makeElementwise(4, 4);
+  K.Stmts[0].Reads.push_back(K.Stmts[0].Reads[0]); // Relu takes one read.
+  EXPECT_NE(K.verify(), "");
+}
+
+TEST(KernelVerify, CatchesBadTensorRank) {
+  Kernel K = makeElementwise(4, 4);
+  K.Stmts[0].Write.Indices.pop_back();
+  EXPECT_NE(K.verify(), "");
+}
+
+TEST(Printer, AffineRow) {
+  std::vector<std::string> Iters = {"i", "j"};
+  std::vector<std::string> Params = {"N"};
+  EXPECT_EQ(printAffineRow({1, 0, 0, 0}, Iters, Params), "i");
+  EXPECT_EQ(printAffineRow({0, 2, 0, -1}, Iters, Params), "2*j - 1");
+  EXPECT_EQ(printAffineRow({0, 0, 1, 3}, Iters, Params), "N + 3");
+  EXPECT_EQ(printAffineRow({0, 0, 0, 0}, Iters, Params), "0");
+  EXPECT_EQ(printAffineRow({-1, 0, 0, 0}, Iters, Params), "-i");
+}
+
+TEST(Printer, KernelRendering) {
+  Kernel K = makeRunningExample(4);
+  std::string Text = printKernel(K);
+  EXPECT_NE(Text.find("for (i = 0; i < 4; i++)"), std::string::npos);
+  EXPECT_NE(Text.find("X: B[i][k] = relu(A[i][k]);"), std::string::npos);
+  EXPECT_NE(Text.find("Y: C[i][j] = fma(C[i][j], B[i][k], D[k][i][j]);"),
+            std::string::npos);
+}
+
+TEST(Printer, AccessRendering) {
+  Kernel K = makeRunningExample(4);
+  EXPECT_EQ(printAccess(K, K.Stmts[1], K.Stmts[1].Reads[2]), "D[k][i][j]");
+}
+
+TEST(Statement, AllAccessesWriteFirst) {
+  Kernel K = makeRunningExample(4);
+  std::vector<const Access *> All = K.Stmts[1].allAccesses();
+  ASSERT_EQ(All.size(), 4u);
+  EXPECT_TRUE(All[0]->IsWrite);
+  EXPECT_FALSE(All[1]->IsWrite);
+}

@@ -1,0 +1,344 @@
+//===- tests/math_test.cpp - support/ and math/ unit tests ----------------===//
+
+#include "math/LinearAlgebra.h"
+#include "math/Matrix.h"
+#include "math/Rational.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+//===----------------------------------------------------------------------===//
+// Support
+//===----------------------------------------------------------------------===//
+
+TEST(Support, GcdBasics) {
+  EXPECT_EQ(gcdInt(12, 18), 6);
+  EXPECT_EQ(gcdInt(-12, 18), 6);
+  EXPECT_EQ(gcdInt(12, -18), 6);
+  EXPECT_EQ(gcdInt(0, 7), 7);
+  EXPECT_EQ(gcdInt(7, 0), 7);
+  EXPECT_EQ(gcdInt(0, 0), 0);
+  EXPECT_EQ(gcdInt(1, 999983), 1);
+}
+
+TEST(Support, LcmBasics) {
+  EXPECT_EQ(lcmInt(4, 6), 12);
+  EXPECT_EQ(lcmInt(0, 5), 0);
+  EXPECT_EQ(lcmInt(7, 7), 7);
+  EXPECT_EQ(lcmInt(-4, 6), 12);
+}
+
+TEST(Support, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+}
+
+TEST(Support, JoinStrings) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+  EXPECT_EQ(joinStrings({"x"}, "-"), "x");
+}
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational R(6, 4);
+  EXPECT_EQ(R.numerator(), 3);
+  EXPECT_EQ(R.denominator(), 2);
+  Rational Neg(3, -6);
+  EXPECT_EQ(Neg.numerator(), -1);
+  EXPECT_EQ(Neg.denominator(), 2);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(5), Rational(9, 2));
+  EXPECT_GE(Rational(0), Rational(0));
+}
+
+TEST(Rational, FloorCeilFraction) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(7, 2).fractionalPart(), Rational(1, 2));
+  EXPECT_EQ(Rational(-7, 2).fractionalPart(), Rational(1, 2));
+  EXPECT_TRUE(Rational(5).isInteger());
+  EXPECT_FALSE(Rational(5, 2).isInteger());
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3, 2).str(), "3/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+  EXPECT_EQ(Rational(-1, 3).str(), "-1/3");
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(Matrix, DotProduct) {
+  EXPECT_EQ(dotProduct({1, 2, 3}, {4, 5, 6}), 32);
+  EXPECT_EQ(dotProduct({}, {}), 0);
+}
+
+TEST(Matrix, NormalizeByGcd) {
+  IntVector V = {4, -6, 8};
+  normalizeByGcd(V);
+  EXPECT_EQ(V, (IntVector{2, -3, 4}));
+  IntVector Zero = {0, 0};
+  normalizeByGcd(Zero);
+  EXPECT_EQ(Zero, (IntVector{0, 0}));
+}
+
+TEST(Matrix, AppendAndAccess) {
+  IntMatrix M(0, 3);
+  M.appendRow({1, 2, 3});
+  M.appendRow({4, 5, 6});
+  EXPECT_EQ(M.numRows(), 2u);
+  EXPECT_EQ(M.numCols(), 3u);
+  EXPECT_EQ(M.at(1, 2), 6);
+  M.truncateRows(1);
+  EXPECT_EQ(M.numRows(), 1u);
+}
+
+TEST(Matrix, Transpose) {
+  IntMatrix M(2, 3);
+  M.row(0) = {1, 2, 3};
+  M.row(1) = {4, 5, 6};
+  IntMatrix T = M.transpose();
+  EXPECT_EQ(T.numRows(), 3u);
+  EXPECT_EQ(T.numCols(), 2u);
+  EXPECT_EQ(T.at(2, 1), 6);
+  EXPECT_EQ(T.transpose(), M);
+}
+
+TEST(Matrix, MultiplyVector) {
+  IntMatrix M(2, 3);
+  M.row(0) = {1, 0, 2};
+  M.row(1) = {0, 3, -1};
+  EXPECT_EQ(M.multiply({1, 1, 1}), (IntVector{3, 2}));
+}
+
+//===----------------------------------------------------------------------===//
+// LinearAlgebra
+//===----------------------------------------------------------------------===//
+
+TEST(LinearAlgebra, RankOfIdentity) {
+  IntMatrix I(3, 3);
+  for (unsigned D = 0; D != 3; ++D)
+    I.at(D, D) = 1;
+  EXPECT_EQ(matrixRank(I), 3u);
+}
+
+TEST(LinearAlgebra, RankOfDependentRows) {
+  IntMatrix M(3, 3);
+  M.row(0) = {1, 2, 3};
+  M.row(1) = {2, 4, 6};
+  M.row(2) = {0, 1, 1};
+  EXPECT_EQ(matrixRank(M), 2u);
+}
+
+TEST(LinearAlgebra, RankOfZeroAndEmpty) {
+  EXPECT_EQ(matrixRank(IntMatrix(2, 4)), 0u);
+  EXPECT_EQ(matrixRank(IntMatrix()), 0u);
+}
+
+TEST(LinearAlgebra, NullspaceOfEmptyIsIdentity) {
+  IntMatrix Basis = nullspaceBasis(IntMatrix(0, 3));
+  EXPECT_EQ(Basis.numRows(), 3u);
+  EXPECT_EQ(matrixRank(Basis), 3u);
+}
+
+TEST(LinearAlgebra, NullspaceOrthogonalToRows) {
+  IntMatrix M(1, 3);
+  M.row(0) = {1, 0, 0};
+  IntMatrix Basis = nullspaceBasis(M);
+  ASSERT_EQ(Basis.numRows(), 2u);
+  for (unsigned R = 0; R != 2; ++R)
+    EXPECT_EQ(dotProduct(M.row(0), Basis.row(R)), 0);
+}
+
+TEST(LinearAlgebra, NullspaceWithRationalBackSubstitution) {
+  // Row space spanned by (2, 1, 0) and (0, 1, 2).
+  IntMatrix M(2, 3);
+  M.row(0) = {2, 1, 0};
+  M.row(1) = {0, 1, 2};
+  IntMatrix Basis = nullspaceBasis(M);
+  ASSERT_EQ(Basis.numRows(), 1u);
+  EXPECT_EQ(dotProduct(M.row(0), Basis.row(0)), 0);
+  EXPECT_EQ(dotProduct(M.row(1), Basis.row(0)), 0);
+  EXPECT_FALSE(isZeroVector(Basis.row(0)));
+}
+
+TEST(LinearAlgebra, HermiteFormLowerTriangular) {
+  IntMatrix M(2, 3);
+  M.row(0) = {4, 2, 1};
+  M.row(1) = {2, 1, 3};
+  HermiteForm HF = hermiteNormalForm(M);
+  // U must be unimodular-ish: H = U * M (check by multiplication).
+  for (unsigned R = 0; R != 2; ++R) {
+    IntVector Expected(3, 0);
+    for (unsigned C = 0; C != 2; ++C)
+      for (unsigned J = 0; J != 3; ++J)
+        Expected[J] += HF.U.at(R, C) * M.at(C, J);
+    EXPECT_EQ(HF.H.row(R), Expected);
+  }
+  // Pivots positive, entries below pivots zero.
+  EXPECT_GT(HF.H.at(0, 0), 0);
+  EXPECT_EQ(HF.H.at(1, 0), 0);
+}
+
+TEST(LinearAlgebra, HermitePreservesRank) {
+  IntMatrix M(3, 4);
+  M.row(0) = {1, 2, 3, 4};
+  M.row(1) = {2, 4, 6, 8};
+  M.row(2) = {0, 0, 1, 1};
+  HermiteForm HF = hermiteNormalForm(M);
+  EXPECT_EQ(matrixRank(HF.H), matrixRank(M));
+}
+
+TEST(LinearAlgebra, InRowSpace) {
+  IntMatrix M(2, 3);
+  M.row(0) = {1, 0, 0};
+  M.row(1) = {0, 1, 0};
+  EXPECT_TRUE(inRowSpace(M, {3, -2, 0}));
+  EXPECT_FALSE(inRowSpace(M, {0, 0, 1}));
+  EXPECT_TRUE(inRowSpace(M, {0, 0, 0}));
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweeps: nullspace of random-ish matrices is orthogonal and has
+// complementary rank.
+//===----------------------------------------------------------------------===//
+
+class NullspaceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NullspaceProperty, RankNullityAndOrthogonality) {
+  // Deterministic pseudo-random matrix from the seed parameter.
+  unsigned Seed = static_cast<unsigned>(GetParam());
+  auto Next = [&Seed]() {
+    Seed = Seed * 1664525u + 1013904223u;
+    return static_cast<Int>((Seed >> 16) % 7) - 3;
+  };
+  unsigned Rows = 2 + Seed % 3, Cols = 3 + Seed % 4;
+  IntMatrix M(Rows, Cols);
+  for (unsigned R = 0; R != Rows; ++R)
+    for (unsigned C = 0; C != Cols; ++C)
+      M.at(R, C) = Next();
+
+  IntMatrix Basis = nullspaceBasis(M);
+  EXPECT_EQ(matrixRank(M) + Basis.numRows(), Cols);
+  for (unsigned B = 0; B != Basis.numRows(); ++B) {
+    EXPECT_FALSE(isZeroVector(Basis.row(B)));
+    for (unsigned R = 0; R != Rows; ++R)
+      EXPECT_EQ(dotProduct(M.row(R), Basis.row(B)), 0);
+  }
+  EXPECT_EQ(matrixRank(Basis), Basis.numRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NullspaceProperty,
+                         ::testing::Range(1, 25));
+
+class HermiteProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HermiteProperty, ReconstructsAndKeepsRank) {
+  unsigned Seed = static_cast<unsigned>(GetParam()) * 77u + 5u;
+  auto Next = [&Seed]() {
+    Seed = Seed * 1664525u + 1013904223u;
+    return static_cast<Int>((Seed >> 16) % 9) - 4;
+  };
+  unsigned Rows = 2 + Seed % 3, Cols = 2 + Seed % 3;
+  IntMatrix M(Rows, Cols);
+  for (unsigned R = 0; R != Rows; ++R)
+    for (unsigned C = 0; C != Cols; ++C)
+      M.at(R, C) = Next();
+
+  HermiteForm HF = hermiteNormalForm(M);
+  EXPECT_EQ(matrixRank(HF.H), matrixRank(M));
+  EXPECT_EQ(matrixRank(HF.U), Rows); // U is invertible.
+  for (unsigned R = 0; R != Rows; ++R) {
+    IntVector Expected(Cols, 0);
+    for (unsigned C = 0; C != Rows; ++C)
+      for (unsigned J = 0; J != Cols; ++J)
+        Expected[J] += HF.U.at(R, C) * M.at(C, J);
+    EXPECT_EQ(HF.H.row(R), Expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HermiteProperty, ::testing::Range(1, 25));
+
+//===----------------------------------------------------------------------===//
+// Pluto's orthogonal projector vs the nullspace construction (the two
+// H-perp constructions the paper contrasts in Section IV-A3).
+//===----------------------------------------------------------------------===//
+
+TEST(LinearAlgebra, PlutoProjectorSimple) {
+  IntMatrix H(1, 3);
+  H.row(0) = {1, 0, 0};
+  IntMatrix P = plutoOrthogonalProjector(H);
+  // Projector rows are orthogonal to H and span a 2D space.
+  EXPECT_EQ(matrixRank(P), 2u);
+  for (unsigned R = 0; R != P.numRows(); ++R)
+    EXPECT_EQ(dotProduct(H.row(0), P.row(R)), 0);
+}
+
+class ProjectorEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectorEquivalence, SpansSameSubspaceAsNullspace) {
+  unsigned Seed = static_cast<unsigned>(GetParam()) * 131u + 7u;
+  auto Next = [&Seed]() {
+    Seed = Seed * 1664525u + 1013904223u;
+    return static_cast<Int>((Seed >> 16) % 5) - 2;
+  };
+  unsigned Cols = 3 + Seed % 3;
+  unsigned Rows = 1 + Seed % (Cols - 1);
+  IntMatrix H(0, Cols);
+  // Build a full-row-rank H by appending only rank-increasing rows.
+  while (H.numRows() < Rows) {
+    IntVector Row(Cols);
+    for (unsigned C = 0; C != Cols; ++C)
+      Row[C] = Next();
+    if (isZeroVector(Row) || inRowSpace(H, Row))
+      continue;
+    H.appendRow(Row);
+  }
+  IntMatrix P = plutoOrthogonalProjector(H);
+  IntMatrix Basis = nullspaceBasis(H);
+  // Same dimension...
+  EXPECT_EQ(matrixRank(P), Basis.numRows());
+  // ...and mutual containment of row spaces.
+  for (unsigned R = 0; R != P.numRows(); ++R)
+    EXPECT_TRUE(inRowSpace(Basis, P.row(R)));
+  for (unsigned R = 0; R != Basis.numRows(); ++R)
+    EXPECT_TRUE(inRowSpace(P, Basis.row(R)));
+  // And orthogonality to H itself.
+  for (unsigned R = 0; R != P.numRows(); ++R)
+    for (unsigned HR = 0; HR != H.numRows(); ++HR)
+      EXPECT_EQ(dotProduct(H.row(HR), P.row(R)), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectorEquivalence,
+                         ::testing::Range(1, 20));

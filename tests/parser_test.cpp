@@ -1,0 +1,134 @@
+//===- tests/parser_test.cpp - textual kernel format tests ----------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+namespace {
+
+std::optional<Kernel> parse(const std::string &Text) {
+  std::string Error;
+  std::optional<Kernel> K = parseKernel(Text, Error);
+  EXPECT_TRUE(K || !Error.empty());
+  return K;
+}
+
+std::string parseError(const std::string &Text) {
+  std::string Error;
+  std::optional<Kernel> K = parseKernel(Text, Error);
+  EXPECT_FALSE(K.has_value());
+  return Error;
+}
+
+} // namespace
+
+TEST(Parser, MinimalKernel) {
+  std::optional<Kernel> K = parse("kernel k\n"
+                                  "tensor A 8\n"
+                                  "tensor B 8\n"
+                                  "stmt S iter i=8 op relu write B[i] "
+                                  "read A[i]\n");
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(K->Name, "k");
+  EXPECT_EQ(K->Stmts.size(), 1u);
+  EXPECT_EQ(K->verify(), "");
+  EXPECT_EQ(K->Stmts[0].Kind, OpKind::Relu);
+}
+
+TEST(Parser, RunningExampleRoundTrip) {
+  std::optional<Kernel> K =
+      parse("kernel fused\n"
+            "tensor A 4 4\ntensor B 4 4\ntensor C 4 4\ntensor D 4 4 4\n"
+            "stmt X iter i=4 k=4 op relu write B[i][k] read A[i][k]\n"
+            "stmt Y iter i=4 j=4 k=4 op fma write C[i][j] read C[i][j] "
+            "read B[i][k] read D[k][i][j]\n");
+  ASSERT_TRUE(K.has_value());
+  std::string Text = printKernel(*K);
+  EXPECT_NE(Text.find("Y: C[i][j] = fma(C[i][j], B[i][k], D[k][i][j]);"),
+            std::string::npos);
+}
+
+TEST(Parser, LineContinuationAndComments) {
+  std::optional<Kernel> K = parse("# leading comment\n"
+                                  "kernel k\n"
+                                  "tensor A 8   # trailing comment\n"
+                                  "tensor B 8\n"
+                                  "stmt S iter i=8 op relu \\\n"
+                                  "     write B[i] read A[i]\n");
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(K->Stmts.size(), 1u);
+}
+
+TEST(Parser, IndexExpressions) {
+  std::optional<Kernel> K =
+      parse("kernel k\n"
+            "tensor A 12\ntensor B 8\n"
+            "stmt S iter i=8 op relu write B[i] read A[i+3]\n");
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(K->Stmts[0].Reads[0].Indices[0], (IntVector{1, 3}));
+  std::optional<Kernel> C =
+      parse("kernel k\ntensor A 4\ntensor B 4\n"
+            "stmt S iter i=4 op relu write B[i] read A[2]\n");
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Stmts[0].Reads[0].Indices[0], (IntVector{0, 2}));
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  EXPECT_NE(parseError("tensor A\n").find("line 1"), std::string::npos);
+  EXPECT_NE(parseError("kernel k\nfrobnicate\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownTensor) {
+  std::string E = parseError("kernel k\ntensor A 4\n"
+                             "stmt S iter i=4 op relu write B[i] "
+                             "read A[i]\n");
+  EXPECT_NE(E.find("unknown tensor"), std::string::npos);
+}
+
+TEST(Parser, RejectsWrongArity) {
+  std::string E = parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                             "stmt S iter i=4 op add write B[i] "
+                             "read A[i]\n");
+  EXPECT_NE(E.find("expects 2 reads"), std::string::npos);
+}
+
+TEST(Parser, RejectsMissingWrite) {
+  std::string E = parseError("kernel k\ntensor A 4\n"
+                             "stmt S iter i=4 op relu read A[i]\n");
+  EXPECT_NE(E.find("needs a write"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedAccess) {
+  std::string E = parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                             "stmt S iter i=4 op relu write B[i "
+                             "read A[i]\n");
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(Parser, RejectsEmptyInput) {
+  EXPECT_NE(parseError("# nothing here\n").find("no statements"),
+            std::string::npos);
+}
+
+TEST(Parser, RejectsBadOpName) {
+  std::string E = parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                             "stmt S iter i=4 op frob write B[i] "
+                             "read A[i]\n");
+  EXPECT_NE(E.find("unknown op"), std::string::npos);
+}
+
+TEST(Parser, OpKindMnemonicsRoundTrip) {
+  for (OpKind Kind :
+       {OpKind::Assign, OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div,
+        OpKind::Max, OpKind::Min, OpKind::Relu, OpKind::Exp, OpKind::Rsqrt,
+        OpKind::Neg, OpKind::Fma, OpKind::MulSub}) {
+    std::optional<OpKind> Parsed = parseOpKind(opKindName(Kind));
+    ASSERT_TRUE(Parsed.has_value()) << opKindName(Kind);
+    EXPECT_EQ(*Parsed, Kind);
+  }
+  EXPECT_FALSE(parseOpKind("nope").has_value());
+}

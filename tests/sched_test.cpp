@@ -1,0 +1,468 @@
+//===- tests/sched_test.cpp - scheduler unit and integration tests --------===//
+
+#include "sched/Scheduler.h"
+#include "TestKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+namespace {
+
+/// Exact schedule validity: every validity relation must be respected
+/// dimension by dimension (nonnegative difference while pairs are still
+/// tied) and eventually carried strictly.
+bool scheduleRespects(const Kernel &K, const Schedule &S,
+                      const DependenceRelation &D) {
+  AffineSet Remaining = D.Rel;
+  for (unsigned Dim = 0, E = S.numDims(); Dim != E; ++Dim) {
+    if (Remaining.isEmpty())
+      return true;
+    IntVector Diff = S.differenceExpr(K, D, Dim);
+    if (!Remaining.isAlwaysAtLeast(Diff, 0))
+      return false; // A pair still tied goes backwards here.
+    if (Remaining.isAlwaysAtLeast(Diff, 1))
+      return true; // All remaining pairs are carried here.
+    // Keep only the pairs tied at this dimension.
+    Remaining.addEq(Diff);
+  }
+  return Remaining.isEmpty();
+}
+
+bool isValidSchedule(const Kernel &K, const Schedule &S) {
+  for (const DependenceRelation &D : computeDependences(K))
+    if (D.constrainsValidity() && !scheduleRespects(K, S, D))
+      return false;
+  return true;
+}
+
+SchedulerOptions baselineOptions() {
+  SchedulerOptions Options;
+  Options.SerializeSccs = true;
+  return Options;
+}
+
+/// The row of statement \p Stmt at dimension \p Dim as a plain vector.
+IntVector rowOf(const Schedule &S, unsigned Stmt, unsigned Dim) {
+  return S.Transforms[Stmt].row(Dim);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Baseline (isl-reference configuration) behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineScheduler, ElementwiseIdentityAndParallel) {
+  Kernel K = makeElementwise(16, 32);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  ASSERT_EQ(R.Sched.numDims(), 2u);
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), (IntVector{1, 0, 0})); // i
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), (IntVector{0, 1, 0})); // j
+  EXPECT_TRUE(R.Sched.Dims[0].IsParallel);
+  EXPECT_TRUE(R.Sched.Dims[1].IsParallel);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(BaselineScheduler, ReductionKeepsReductionInnermostSequential) {
+  Kernel K = makeRowReduction(8, 16);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  ASSERT_EQ(R.Sched.numDims(), 2u);
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), (IntVector{1, 0, 0})); // i
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), (IntVector{0, 1, 0})); // j (reduction)
+  EXPECT_TRUE(R.Sched.Dims[0].IsParallel);
+  EXPECT_FALSE(R.Sched.Dims[1].IsParallel);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(BaselineScheduler, RunningExampleMatchesFig2b) {
+  // The isl-reference configuration distributes the two nests (an
+  // up-front scalar dimension) and keeps the original loop orders:
+  // X = (i, k), Y = (i, j, k) -- the paper's Fig. 2(b).
+  Kernel K = makeRunningExample(8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  ASSERT_GE(R.Sched.numDims(), 4u);
+  EXPECT_TRUE(R.Sched.Dims[0].IsScalar);
+  EXPECT_EQ(rowOf(R.Sched, 0, 0).back(), 0); // X first
+  EXPECT_EQ(rowOf(R.Sched, 1, 0).back(), 1); // Y second
+  // X order (i, k).
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), (IntVector{1, 0, 0}));
+  EXPECT_EQ(rowOf(R.Sched, 0, 2), (IntVector{0, 1, 0}));
+  // Y order (i, j, k): the original, inefficient-D order.
+  EXPECT_EQ(rowOf(R.Sched, 1, 1), (IntVector{1, 0, 0, 0}));
+  EXPECT_EQ(rowOf(R.Sched, 1, 2), (IntVector{0, 1, 0, 0}));
+  EXPECT_EQ(rowOf(R.Sched, 1, 3), (IntVector{0, 0, 1, 0}));
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+  EXPECT_EQ(R.ReachedLeaf, nullptr);
+}
+
+TEST(BaselineScheduler, SameDepthProducerConsumerFused) {
+  // isl's clustering fuses same-depth components: the two statements
+  // share the (i, j) band and are ordered by a trailing scalar dim.
+  Kernel K = makeProducerConsumer(8, 8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  ASSERT_EQ(R.Sched.numDims(), 3u);
+  EXPECT_FALSE(R.Sched.Dims[0].IsScalar);
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), rowOf(R.Sched, 1, 0));
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), rowOf(R.Sched, 1, 1));
+  EXPECT_TRUE(R.Sched.Dims[2].IsScalar);
+  EXPECT_LT(rowOf(R.Sched, 0, 2).back(), rowOf(R.Sched, 1, 2).back());
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(BaselineScheduler, DepthMismatchStaysDistributed) {
+  // Components of different loop depth are not fused (Fig. 2(b)).
+  Kernel K = makeRunningExample(8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  EXPECT_TRUE(R.Sched.Dims[0].IsScalar);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(BaselineScheduler, TransposeIdentity) {
+  Kernel K = makeTranspose(16, 16);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  ASSERT_EQ(R.Sched.numDims(), 2u);
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), (IntVector{1, 0, 0}));
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), (IntVector{0, 1, 0}));
+  EXPECT_TRUE(R.Sched.Dims[0].IsParallel);
+  EXPECT_TRUE(R.Sched.Dims[1].IsParallel);
+}
+
+//===----------------------------------------------------------------------===//
+// Influenced scheduling: hand-built trees
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the Fig. 3(b)-style tree for the running example: fuse X and Y
+/// on the first two dimensions (i then k), keep them independent of j,
+/// and pin coefficient 1 for j at the third dimension (prepared for
+/// vectorization).
+InfluenceTree makeRunningExampleTree() {
+  InfluenceTree Tree;
+  // Statement X iterators: (i=0, k=1); coeff indices (i, k, const=2).
+  // Statement Y iterators: (i=0, j=1, k=2); coeff indices (.., const=3).
+  InfluenceNode *D0 = Tree.root().addChild("fused.d0");
+  // Dim 0: X and Y schedule i together, independent of j.
+  D0->Constraints.push_back(makeCoeffEquals(0, 0, 0, 1)); // X: c_i == 1
+  D0->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0)); // X: c_k == 0
+  D0->Constraints.push_back(makeCoeffEquals(1, 0, 0, 1)); // Y: c_i == 1
+  D0->Constraints.push_back(makeCoeffEquals(1, 0, 1, 0)); // Y: c_j == 0
+  D0->Constraints.push_back(makeCoeffEquals(1, 0, 2, 0)); // Y: c_k == 0
+  InfluenceNode *D1 = D0->addChild("fused.d1");
+  D1->Constraints.push_back(makeCoeffEquals(0, 1, 0, 0)); // X: c_i == 0
+  D1->Constraints.push_back(makeCoeffEquals(0, 1, 1, 1)); // X: c_k == 1
+  D1->Constraints.push_back(makeCoeffEquals(1, 1, 0, 0));
+  D1->Constraints.push_back(makeCoeffEquals(1, 1, 1, 0)); // Y: c_j == 0
+  D1->Constraints.push_back(makeCoeffEquals(1, 1, 2, 1)); // Y: c_k == 1
+  InfluenceNode *D2 = D1->addChild("fused.d2");
+  D2->Constraints.push_back(makeCoeffEquals(1, 2, 1, 1)); // Y: c_j == 1
+  D2->Constraints.push_back(makeCoeffEquals(1, 2, 0, 0));
+  D2->Constraints.push_back(makeCoeffEquals(1, 2, 2, 0));
+  D2->VectorStmts = {1};
+  D2->VectorWidth = 4;
+  return Tree;
+}
+
+} // namespace
+
+TEST(InfluencedScheduler, RunningExampleMatchesFig2c) {
+  Kernel K = makeRunningExample(8);
+  InfluenceTree Tree = makeRunningExampleTree();
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_FALSE(R.Stats.TreeAbandoned);
+  // Fused (i, k) band, then j for Y.
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), (IntVector{1, 0, 0}));    // X: i
+  EXPECT_EQ(rowOf(R.Sched, 1, 0), (IntVector{1, 0, 0, 0})); // Y: i
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), (IntVector{0, 1, 0}));    // X: k
+  EXPECT_EQ(rowOf(R.Sched, 1, 1), (IntVector{0, 0, 1, 0})); // Y: k
+  EXPECT_EQ(rowOf(R.Sched, 1, 2), (IntVector{0, 1, 0, 0})); // Y: j
+  // The vector mark landed on dimension 2 for Y.
+  ASSERT_GE(R.Sched.numDims(), 3u);
+  EXPECT_TRUE(R.Sched.Dims[2].isVectorFor(1));
+  EXPECT_EQ(R.Sched.Dims[2].VectorWidth, 4u);
+  // A scalar dimension orders X before Y within the fused nest.
+  ASSERT_GE(R.Sched.numDims(), 4u);
+  EXPECT_TRUE(R.Sched.Dims[3].IsScalar);
+  EXPECT_LT(rowOf(R.Sched, 0, 3).back(), rowOf(R.Sched, 1, 3).back());
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(InfluencedScheduler, InfeasibleBranchFallsToSibling) {
+  Kernel K = makeRowReduction(8, 16);
+  InfluenceTree Tree;
+  // Branch 1 (infeasible): demand the reduction dimension j parallel
+  // outermost with zero coefficient everywhere -- contradictory with
+  // progression: c_i == 0 and c_j == 0.
+  InfluenceNode *Bad = Tree.root().addChild("bad");
+  Bad->Constraints.push_back(makeCoeffEquals(0, 0, 0, 0));
+  Bad->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0));
+  // Branch 2 (feasible): i outermost.
+  InfluenceNode *Good = Tree.root().addChild("good");
+  Good->Constraints.push_back(makeCoeffEquals(0, 0, 0, 1));
+  Good->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0));
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_EQ(R.ReachedLeaf->Label, "good");
+  EXPECT_GE(R.Stats.SiblingMoves, 1u);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(InfluencedScheduler, FullyInfeasibleTreeFallsBackToPlain) {
+  Kernel K = makeRowReduction(8, 16);
+  InfluenceTree Tree;
+  InfluenceNode *Bad = Tree.root().addChild("impossible");
+  // c_i == 0 and c_j == 0 at dim 0 contradicts progression.
+  Bad->Constraints.push_back(makeCoeffEquals(0, 0, 0, 0));
+  Bad->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0));
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  EXPECT_EQ(R.ReachedLeaf, nullptr);
+  EXPECT_TRUE(R.Stats.TreeAbandoned);
+  // Output equals the plain scheduler's.
+  SchedulerResult Plain = scheduleKernel(K, baselineOptions());
+  EXPECT_EQ(R.Sched.Transforms[0].str(), Plain.Sched.Transforms[0].str());
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(InfluencedScheduler, AncestorBacktrackAcrossDimensions) {
+  // Tree: scenario A fixes dim0 = i and then (infeasible at dim1)
+  // demands c_i == 1 again while progression requires independence; the
+  // scheduler must backtrack to scenario B at depth 0.
+  Kernel K = makeElementwise(8, 8);
+  InfluenceTree Tree;
+  InfluenceNode *A0 = Tree.root().addChild("A.d0");
+  A0->Constraints.push_back(makeCoeffEquals(0, 0, 0, 1)); // c_i == 1
+  A0->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0)); // c_j == 0
+  InfluenceNode *A1 = A0->addChild("A.d1");
+  // Self-contradictory at dim 1, so that neither the normal solve nor
+  // the progression-dropping fallback can satisfy it.
+  A1->Constraints.push_back(makeCoeffEquals(0, 1, 0, 1)); // c_i == 1
+  A1->Constraints.push_back(makeCoeffEquals(0, 1, 0, 0)); // c_i == 0
+  InfluenceNode *B0 = Tree.root().addChild("B.d0");
+  B0->Constraints.push_back(makeCoeffEquals(0, 0, 0, 0)); // c_i == 0
+  B0->Constraints.push_back(makeCoeffEquals(0, 0, 1, 1)); // c_j == 1
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_EQ(R.ReachedLeaf->Label, "B.d0");
+  EXPECT_GE(R.Stats.AncestorBacktracks, 1u);
+  // Scenario B: j outermost.
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), (IntVector{0, 1, 0}));
+}
+
+TEST(InfluencedScheduler, ExtraDimensionViaProgressionDrop) {
+  // A tree one level deeper than the statement's domain: the scheduler
+  // must drop progression to give the influence its extra dimension.
+  Kernel K = makeElementwise(8, 8);
+  InfluenceTree Tree;
+  InfluenceNode *D0 = Tree.root().addChild("d0");
+  D0->Constraints.push_back(makeCoeffEquals(0, 0, 0, 1));
+  D0->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0));
+  InfluenceNode *D1 = D0->addChild("d1");
+  D1->Constraints.push_back(makeCoeffEquals(0, 1, 0, 0));
+  D1->Constraints.push_back(makeCoeffEquals(0, 1, 1, 1));
+  InfluenceNode *D2 = D1->addChild("d2.extra");
+  D2->Constraints.push_back(makeCoeffEquals(0, 2, 2, 0)); // const == 0
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_EQ(R.ReachedLeaf->Label, "d2.extra");
+  EXPECT_GE(R.Stats.ProgressionDrops, 1u);
+  EXPECT_EQ(R.Sched.numDims(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Injected objectives and meta-constraints (paper Section IV-A4)
+//===----------------------------------------------------------------------===//
+
+TEST(InfluencedScheduler, NodeObjectiveSteersChoice) {
+  // Element-wise kernel: both (i, j) and (j, i) orders are optimal for
+  // every built-in criterion; the default order preference picks i
+  // outermost. A node objective minimizing c_i at dim 0 flips that.
+  Kernel K = makeElementwise(8, 8);
+  InfluenceTree Tree;
+  InfluenceNode *D0 = Tree.root().addChild("steer");
+  InfluenceObjective PreferNotI;
+  PreferNotI.Terms.push_back({0, 0, 0, 1}); // minimize c_i at dim 0
+  D0->Objectives.push_back(PreferNotI);
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_EQ(rowOf(R.Sched, 0, 0), (IntVector{0, 1, 0})); // j outermost
+  EXPECT_EQ(rowOf(R.Sched, 0, 1), (IntVector{1, 0, 0}));
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(InfluencedScheduler, ObjectiveSoftWhereConstraintWouldFail) {
+  // Objectives do not restrict the solution space (the paper's design
+  // discussion): asking to minimize every coefficient still yields a
+  // valid schedule because progression wins.
+  Kernel K = makeRowReduction(8, 16);
+  InfluenceTree Tree;
+  InfluenceNode *D0 = Tree.root().addChild("soft");
+  InfluenceObjective MinAll;
+  MinAll.Terms.push_back({0, 0, 0, 1});
+  MinAll.Terms.push_back({0, 0, 1, 1});
+  D0->Objectives.push_back(MinAll);
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(InfluencedScheduler, RequireParallelRejectsReductionDim) {
+  // Branch 1 pins the reduction iterator j outermost AND requires the
+  // dimension to be parallel -- feasible as an ILP but rejected by the
+  // meta-check; the scheduler must move to the sibling.
+  Kernel K = makeRowReduction(8, 16);
+  InfluenceTree Tree;
+  InfluenceNode *Bad = Tree.root().addChild("par.j");
+  Bad->Constraints.push_back(makeCoeffEquals(0, 0, 0, 0)); // c_i == 0
+  Bad->Constraints.push_back(makeCoeffEquals(0, 0, 1, 1)); // c_j == 1
+  Bad->RequireParallel = true;
+  InfluenceNode *Good = Tree.root().addChild("par.i");
+  Good->Constraints.push_back(makeCoeffEquals(0, 0, 0, 1));
+  Good->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0));
+  Good->RequireParallel = true;
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_EQ(R.ReachedLeaf->Label, "par.i");
+  EXPECT_GE(R.Stats.MetaRejections, 1u);
+  EXPECT_GE(R.Stats.SiblingMoves, 1u);
+  EXPECT_TRUE(R.Sched.Dims[0].IsParallel);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+TEST(InfluencedScheduler, RequireParallelAcceptsParallelDim) {
+  Kernel K = makeElementwise(8, 8);
+  InfluenceTree Tree;
+  InfluenceNode *D0 = Tree.root().addChild("par");
+  D0->Constraints.push_back(makeCoeffEquals(0, 0, 0, 1));
+  D0->Constraints.push_back(makeCoeffEquals(0, 0, 1, 0));
+  D0->RequireParallel = true;
+  SchedulerResult R = scheduleKernel(K, SchedulerOptions(), &Tree);
+  ASSERT_NE(R.ReachedLeaf, nullptr);
+  EXPECT_EQ(R.Stats.MetaRejections, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Feautrier fallback (paper Section IV-B; Feautrier 1992)
+//===----------------------------------------------------------------------===//
+
+TEST(FeautrierFallback, DisabledByDefaultSchedulesNormally) {
+  Kernel K = makeProducerConsumer(8, 8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  EXPECT_EQ(R.Stats.FeautrierDims, 0u);
+}
+
+TEST(FeautrierFallback, CarriesDependencesWhenEnabled) {
+  // With the fallback enabled, the end-of-construction resolution of
+  // the producer/consumer ordering may use a Feautrier dimension (shift
+  // Q after P) instead of an SCC cut; either way the schedule is valid
+  // and, when a Feautrier dim is taken, the flow relation is carried
+  // by it.
+  Kernel K = makeProducerConsumer(8, 8);
+  SchedulerOptions Options;
+  Options.UseFeautrierFallback = true;
+  SchedulerResult R = scheduleKernel(K, Options);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+  EXPECT_EQ(R.Stats.SccCuts, 0u);
+  EXPECT_GE(R.Stats.FeautrierDims, 1u);
+}
+
+TEST(FeautrierFallback, RunningExampleStaysValid) {
+  Kernel K = makeRunningExample(8);
+  SchedulerOptions Options;
+  Options.UseFeautrierFallback = true;
+  SchedulerResult R = scheduleKernel(K, Options);
+  EXPECT_TRUE(isValidSchedule(K, R.Sched));
+}
+
+//===----------------------------------------------------------------------===//
+// Schedule utilities
+//===----------------------------------------------------------------------===//
+
+TEST(Schedule, ApplyComputesDates) {
+  Kernel K = makeElementwise(4, 4);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  IntVector Date = R.Sched.apply(K, 0, {2, 3}, {});
+  EXPECT_EQ(Date, (IntVector{2, 3}));
+}
+
+TEST(Schedule, IteratorPartShape) {
+  Kernel K = makeRunningExample(8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  IntMatrix H = R.Sched.iteratorPart(K, 1);
+  EXPECT_EQ(H.numCols(), 3u);
+  EXPECT_EQ(H.numRows(), R.Sched.numDims());
+}
+
+TEST(Schedule, StrDumpsAllStatements) {
+  Kernel K = makeRunningExample(4);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  std::string Text = R.Sched.str(K);
+  EXPECT_NE(Text.find("theta_X"), std::string::npos);
+  EXPECT_NE(Text.find("theta_Y"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: schedules are always valid across kernel families and
+// sizes, influenced or not.
+//===----------------------------------------------------------------------===//
+
+class SchedulerValidity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerValidity, AllSchedulesValid) {
+  int Family = std::get<0>(GetParam());
+  Int N = std::get<1>(GetParam());
+  Kernel K = [&] {
+    switch (Family) {
+    case 0:
+      return makeElementwise(N, N);
+    case 1:
+      return makeTranspose(N, N);
+    case 2:
+      return makeProducerConsumer(N, N);
+    case 3:
+      return makeRowReduction(N, N);
+    default:
+      return makeRunningExample(N);
+    }
+  }();
+  SchedulerResult Base = scheduleKernel(K, baselineOptions());
+  EXPECT_TRUE(isValidSchedule(K, Base.Sched)) << "family " << Family;
+  SchedulerResult Fused = scheduleKernel(K, SchedulerOptions());
+  EXPECT_TRUE(isValidSchedule(K, Fused.Sched)) << "family " << Family;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SchedulerValidity,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(4, 8, 12)));
+
+//===----------------------------------------------------------------------===//
+// Permutable band structure
+//===----------------------------------------------------------------------===//
+
+TEST(BandStructure, SingleBandForElementwise) {
+  Kernel K = makeElementwise(8, 8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  ASSERT_EQ(R.Sched.numDims(), 2u);
+  EXPECT_TRUE(R.Sched.Dims[0].BandStart);
+  EXPECT_FALSE(R.Sched.Dims[1].BandStart); // Same permutable band.
+}
+
+TEST(BandStructure, ScalarDimOpensNewBand) {
+  Kernel K = makeRunningExample(8);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  // Dim 0 is the up-front scalar cut; the loop band starts at dim 1 and
+  // the remaining loop dims extend it.
+  ASSERT_GE(R.Sched.numDims(), 4u);
+  EXPECT_TRUE(R.Sched.Dims[0].IsScalar);
+  EXPECT_TRUE(R.Sched.Dims[1].BandStart);
+  EXPECT_FALSE(R.Sched.Dims[2].BandStart);
+  EXPECT_FALSE(R.Sched.Dims[3].BandStart);
+}
+
+TEST(BandStructure, PrintedInScheduleDump) {
+  Kernel K = makeElementwise(4, 4);
+  SchedulerResult R = scheduleKernel(K, baselineOptions());
+  EXPECT_NE(R.Sched.str(K).find("band-start"), std::string::npos);
+}

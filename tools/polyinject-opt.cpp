@@ -1,0 +1,155 @@
+//===- tools/polyinject-opt.cpp - Command-line driver ----------------------===//
+//
+// Reads a fused operator in the textual format of ir/Parser.h and runs
+// the full pipeline, printing the requested artifacts.
+//
+// Usage:
+//   polyinject-opt [options] kernel.pinj
+//     --config=isl|tvm|novec|infl|all   configurations to run (default all)
+//     --print=schedule,cuda,ast,tree,deps,sim   artifacts (default
+//                                               schedule,sim)
+//     --validate                        execute and compare semantics
+//     --feautrier                       enable the Feautrier fallback
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Ast.h"
+#include "exec/Interpreter.h"
+#include "influence/TreeBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "pipeline/Pipeline.h"
+#include "poly/Dependence.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace pinj;
+
+namespace {
+
+void printUsage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--config=isl|tvm|novec|infl|all] "
+      "[--print=schedule,cuda,ast,tree,deps,sim] [--validate] "
+      "[--feautrier] kernel.pinj\n",
+      Argv0);
+}
+
+std::set<std::string> splitList(const std::string &Text) {
+  std::set<std::string> Items;
+  std::stringstream In(Text);
+  std::string Item;
+  while (std::getline(In, Item, ','))
+    Items.insert(Item);
+  return Items;
+}
+
+void printConfig(const Kernel &K, const char *Name, const ConfigResult &R,
+                 const std::set<std::string> &Artifacts,
+                 const PipelineOptions &Options) {
+  std::printf("==== %s ====\n", Name);
+  if (Artifacts.count("schedule"))
+    std::printf("%s", R.Sched.str(K).c_str());
+  if (Artifacts.count("ast")) {
+    MappedKernel M = mapToGpu(K, R.Sched, Options.Mapping);
+    std::printf("%s", printAst(M).c_str());
+  }
+  if (Artifacts.count("cuda"))
+    std::printf("%s", renderCuda(K, R.Sched, Options.Mapping).c_str());
+  if (Artifacts.count("sim"))
+    std::printf("time %.3f us | transactions %.0f | bytes moved %.0f "
+                "(useful %.0f, efficiency %.0f%%)\n",
+                R.TimeUs, R.Sim.Transactions, R.Sim.TransactionBytes,
+                R.Sim.UsefulBytes, R.Sim.efficiency() * 100);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ConfigArg = "all";
+  std::set<std::string> Artifacts = {"schedule", "sim"};
+  bool Validate = false;
+  bool Feautrier = false;
+  const char *Path = nullptr;
+
+  for (int I = 1; I != Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--config=", 9) == 0) {
+      ConfigArg = Arg + 9;
+    } else if (std::strncmp(Arg, "--print=", 8) == 0) {
+      Artifacts = splitList(Arg + 8);
+    } else if (std::strcmp(Arg, "--validate") == 0) {
+      Validate = true;
+    } else if (std::strcmp(Arg, "--feautrier") == 0) {
+      Feautrier = true;
+    } else if (Arg[0] == '-') {
+      printUsage(Argv[0]);
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path) {
+    printUsage(Argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Error;
+  std::optional<Kernel> K = parseKernel(Buffer.str(), Error);
+  if (!K) {
+    std::fprintf(stderr, "%s: %s\n", Path, Error.c_str());
+    return 1;
+  }
+
+  std::printf("kernel '%s'\n\n%s\n", K->Name.c_str(),
+              printKernel(*K).c_str());
+  if (Artifacts.count("deps")) {
+    std::printf("==== dependences ====\n");
+    for (const DependenceRelation &D : computeDependences(*K))
+      std::printf("%s\n", printDependence(*K, D).c_str());
+    std::printf("\n");
+  }
+  if (Artifacts.count("tree")) {
+    InfluenceTree Tree = buildInfluenceTree(*K, InfluenceOptions());
+    std::printf("==== influence constraint tree ====\n%s\n",
+                Tree.str(*K).c_str());
+  }
+
+  PipelineOptions Options;
+  Options.Validate = Validate;
+  Options.Sched.UseFeautrierFallback = Feautrier;
+  OperatorReport R = runOperator(*K, Options);
+
+  bool All = ConfigArg == "all";
+  if (All || ConfigArg == "isl")
+    printConfig(*K, "isl", R.Isl, Artifacts, Options);
+  if (All || ConfigArg == "novec")
+    printConfig(*K, "novec", R.Novec, Artifacts, Options);
+  if (All || ConfigArg == "infl")
+    printConfig(*K, "infl", R.Infl, Artifacts, Options);
+  if (All || ConfigArg == "tvm")
+    std::printf("==== tvm (per-statement launches) ====\ntime %.3f us "
+                "over %u launches\n\n",
+                R.Tvm.TimeUs, R.Tvm.Launches);
+
+  std::printf("summary: influenced=%s vectorizable=%s speedup(infl/isl)="
+              "%.2fx%s\n",
+              R.Influenced ? "yes" : "no", R.VecEligible ? "yes" : "no",
+              R.Isl.TimeUs / R.Infl.TimeUs,
+              Validate ? (R.Validated ? " validated=yes" : " validated=NO")
+                       : "");
+  return Validate && !R.Validated ? 1 : 0;
+}
