@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backtracking.dir/bench_backtracking.cpp.o"
+  "CMakeFiles/bench_backtracking.dir/bench_backtracking.cpp.o.d"
+  "bench_backtracking"
+  "bench_backtracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backtracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

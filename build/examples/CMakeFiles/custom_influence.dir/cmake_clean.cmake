@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_influence.dir/custom_influence.cpp.o"
+  "CMakeFiles/custom_influence.dir/custom_influence.cpp.o.d"
+  "custom_influence"
+  "custom_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

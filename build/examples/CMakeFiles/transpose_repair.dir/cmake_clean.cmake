@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_repair.dir/transpose_repair.cpp.o"
+  "CMakeFiles/transpose_repair.dir/transpose_repair.cpp.o.d"
+  "transpose_repair"
+  "transpose_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/TvmProxy.cpp" "src/CMakeFiles/polyinject.dir/baselines/TvmProxy.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/baselines/TvmProxy.cpp.o.d"
+  "/root/repo/src/codegen/Ast.cpp" "src/CMakeFiles/polyinject.dir/codegen/Ast.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/codegen/Ast.cpp.o.d"
+  "/root/repo/src/codegen/CudaPrinter.cpp" "src/CMakeFiles/polyinject.dir/codegen/CudaPrinter.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/codegen/CudaPrinter.cpp.o.d"
+  "/root/repo/src/codegen/Mapping.cpp" "src/CMakeFiles/polyinject.dir/codegen/Mapping.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/codegen/Mapping.cpp.o.d"
+  "/root/repo/src/codegen/Vectorizer.cpp" "src/CMakeFiles/polyinject.dir/codegen/Vectorizer.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/codegen/Vectorizer.cpp.o.d"
+  "/root/repo/src/exec/Interpreter.cpp" "src/CMakeFiles/polyinject.dir/exec/Interpreter.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/exec/Interpreter.cpp.o.d"
+  "/root/repo/src/gpusim/WarpSimulator.cpp" "src/CMakeFiles/polyinject.dir/gpusim/WarpSimulator.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/gpusim/WarpSimulator.cpp.o.d"
+  "/root/repo/src/influence/AccessAnalysis.cpp" "src/CMakeFiles/polyinject.dir/influence/AccessAnalysis.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/influence/AccessAnalysis.cpp.o.d"
+  "/root/repo/src/influence/ScenarioBuilder.cpp" "src/CMakeFiles/polyinject.dir/influence/ScenarioBuilder.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/influence/ScenarioBuilder.cpp.o.d"
+  "/root/repo/src/influence/TreeBuilder.cpp" "src/CMakeFiles/polyinject.dir/influence/TreeBuilder.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/influence/TreeBuilder.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/polyinject.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Kernel.cpp" "src/CMakeFiles/polyinject.dir/ir/Kernel.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/ir/Kernel.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/CMakeFiles/polyinject.dir/ir/Parser.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/ir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/polyinject.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/lp/Builder.cpp" "src/CMakeFiles/polyinject.dir/lp/Builder.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/lp/Builder.cpp.o.d"
+  "/root/repo/src/lp/Ilp.cpp" "src/CMakeFiles/polyinject.dir/lp/Ilp.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/lp/Ilp.cpp.o.d"
+  "/root/repo/src/lp/LexMin.cpp" "src/CMakeFiles/polyinject.dir/lp/LexMin.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/lp/LexMin.cpp.o.d"
+  "/root/repo/src/lp/Simplex.cpp" "src/CMakeFiles/polyinject.dir/lp/Simplex.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/lp/Simplex.cpp.o.d"
+  "/root/repo/src/math/LinearAlgebra.cpp" "src/CMakeFiles/polyinject.dir/math/LinearAlgebra.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/math/LinearAlgebra.cpp.o.d"
+  "/root/repo/src/math/Matrix.cpp" "src/CMakeFiles/polyinject.dir/math/Matrix.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/math/Matrix.cpp.o.d"
+  "/root/repo/src/math/Rational.cpp" "src/CMakeFiles/polyinject.dir/math/Rational.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/math/Rational.cpp.o.d"
+  "/root/repo/src/ops/Networks.cpp" "src/CMakeFiles/polyinject.dir/ops/Networks.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/ops/Networks.cpp.o.d"
+  "/root/repo/src/ops/OpFactory.cpp" "src/CMakeFiles/polyinject.dir/ops/OpFactory.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/ops/OpFactory.cpp.o.d"
+  "/root/repo/src/pipeline/Pipeline.cpp" "src/CMakeFiles/polyinject.dir/pipeline/Pipeline.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/pipeline/Pipeline.cpp.o.d"
+  "/root/repo/src/poly/Dependence.cpp" "src/CMakeFiles/polyinject.dir/poly/Dependence.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/poly/Dependence.cpp.o.d"
+  "/root/repo/src/poly/Farkas.cpp" "src/CMakeFiles/polyinject.dir/poly/Farkas.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/poly/Farkas.cpp.o.d"
+  "/root/repo/src/poly/Set.cpp" "src/CMakeFiles/polyinject.dir/poly/Set.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/poly/Set.cpp.o.d"
+  "/root/repo/src/sched/ConstraintBuilders.cpp" "src/CMakeFiles/polyinject.dir/sched/ConstraintBuilders.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/sched/ConstraintBuilders.cpp.o.d"
+  "/root/repo/src/sched/InfluenceTree.cpp" "src/CMakeFiles/polyinject.dir/sched/InfluenceTree.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/sched/InfluenceTree.cpp.o.d"
+  "/root/repo/src/sched/Schedule.cpp" "src/CMakeFiles/polyinject.dir/sched/Schedule.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/sched/Schedule.cpp.o.d"
+  "/root/repo/src/sched/Scheduler.cpp" "src/CMakeFiles/polyinject.dir/sched/Scheduler.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/sched/Scheduler.cpp.o.d"
+  "/root/repo/src/support/Support.cpp" "src/CMakeFiles/polyinject.dir/support/Support.cpp.o" "gcc" "src/CMakeFiles/polyinject.dir/support/Support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

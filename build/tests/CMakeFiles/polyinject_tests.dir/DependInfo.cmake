@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/exec_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/exec_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/exec_test.cpp.o.d"
+  "/root/repo/tests/extra_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/extra_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/extra_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/gpusim_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/gpusim_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/gpusim_test.cpp.o.d"
+  "/root/repo/tests/influence_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/influence_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/influence_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/lp_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/lp_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/lp_test.cpp.o.d"
+  "/root/repo/tests/math_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/math_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/math_test.cpp.o.d"
+  "/root/repo/tests/ops_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/ops_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/ops_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/poly_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/poly_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/poly_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/polyinject_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/polyinject_tests.dir/sched_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polyinject.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyinject_tests.dir/codegen_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/codegen_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/exec_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/exec_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/extra_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/extra_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/fuzz_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/fuzz_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/gpusim_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/gpusim_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/influence_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/influence_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/ir_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/ir_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/lp_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/lp_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/math_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/math_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/ops_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/ops_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/parser_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/parser_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/pipeline_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/pipeline_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/poly_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/poly_test.cpp.o.d"
+  "CMakeFiles/polyinject_tests.dir/sched_test.cpp.o"
+  "CMakeFiles/polyinject_tests.dir/sched_test.cpp.o.d"
+  "polyinject_tests"
+  "polyinject_tests.pdb"
+  "polyinject_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyinject_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

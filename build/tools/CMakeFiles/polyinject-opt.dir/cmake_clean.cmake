@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyinject-opt.dir/polyinject-opt.cpp.o"
+  "CMakeFiles/polyinject-opt.dir/polyinject-opt.cpp.o.d"
+  "polyinject-opt"
+  "polyinject-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyinject-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
