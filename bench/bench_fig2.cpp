@@ -14,6 +14,7 @@
 #include "exec/Interpreter.h"
 #include "influence/TreeBuilder.h"
 #include "ir/Printer.h"
+#include "obs/Metrics.h"
 #include "ops/OpFactory.h"
 #include "pipeline/Pipeline.h"
 
@@ -64,5 +65,7 @@ int main() {
               "instructions: isl=%.0f infl=%.0f\n",
               IslSim.Transactions, InflSim.Transactions,
               IslSim.MemInstructions, InflSim.MemInstructions);
+  std::printf("\nprocess metrics\n%s",
+              obs::metrics().snapshot().table().c_str());
   return (IslOk && InflOk) ? 0 : 1;
 }

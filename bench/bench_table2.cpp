@@ -14,6 +14,8 @@
 
 #include "BenchUtil.h"
 
+#include "obs/Metrics.h"
+
 using namespace pinj;
 
 namespace {
@@ -92,5 +94,8 @@ int main() {
                 "%6.2f %6.2f %6.2f\n",
                 Row.Network, Row.Total, Row.Vec, Row.Infl, Row.Tvm,
                 Row.Novec, Row.Infl2, Row.TvmI, Row.NovecI, Row.InflI);
+
+  std::printf("\nProcess metrics across all suites:\n%s",
+              obs::metrics().snapshot().table().c_str());
   return 0;
 }

@@ -69,5 +69,10 @@ int main() {
               Report.Influenced ? "yes" : "no",
               Report.VecEligible ? "yes" : "no",
               Report.Validated ? "yes" : "NO");
+
+  // 4. Per-configuration pipeline stats (ILP solves, pivots, fallbacks)
+  //    collected by the observability layer during runOperator.
+  std::printf("\n== Pipeline stats ==\n%s",
+              printStatsTable(Report).c_str());
   return Report.Validated ? 0 : 1;
 }

@@ -3,6 +3,8 @@
 #include "codegen/Ast.h"
 #include "influence/AccessAnalysis.h"
 #include "ir/Printer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 using namespace pinj;
 
@@ -175,5 +177,11 @@ private:
 } // namespace
 
 std::string pinj::printCuda(const MappedKernel &M) {
+  obs::Span Sp("codegen.print_cuda");
+  static obs::Counter &Printed =
+      obs::metrics().counter("codegen.kernels_printed");
+  Printed.inc();
+  if (Sp.active())
+    Sp.arg("kernel", M.K->Name);
   return CudaEmitter(M).run();
 }

@@ -2,6 +2,9 @@
 
 #include "codegen/Mapping.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 using namespace pinj;
 
 RowShape pinj::analyzeRow(const Kernel &K, const Schedule &S, unsigned Stmt,
@@ -76,6 +79,12 @@ Int MappedKernel::numBlocks() const {
 
 MappedKernel pinj::mapToGpu(const Kernel &K, const Schedule &S,
                             const GpuMappingOptions &Options) {
+  obs::Span Sp("codegen.map_to_gpu");
+  static obs::Counter &Mapped =
+      obs::metrics().counter("codegen.kernels_mapped");
+  Mapped.inc();
+  if (Sp.active())
+    Sp.arg("kernel", K.Name).arg("dims", S.numDims());
   MappedKernel M;
   M.K = &K;
   M.Sched = S;

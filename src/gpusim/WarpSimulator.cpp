@@ -3,8 +3,11 @@
 #include "gpusim/GpuModel.h"
 
 #include "influence/AccessAnalysis.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 using namespace pinj;
@@ -134,6 +137,9 @@ public:
         ++Samples;
       }
     }
+    static obs::Counter &WarpSamples =
+        obs::metrics().counter("gpusim.warps_simulated");
+    WarpSamples.add(Samples);
     if (Samples == 0)
       return;
     double AvgTx = SumTransactions / Samples;
@@ -261,6 +267,7 @@ private:
 } // namespace
 
 KernelSim pinj::simulateKernel(const MappedKernel &M, const GpuModel &Model) {
+  obs::Span Sp("gpusim.simulate");
   KernelSim Sim;
   for (unsigned Stmt = 0, E = M.K->Stmts.size(); Stmt != E; ++Stmt) {
     StmtSimulator StmtSim(M, Model, Stmt);
@@ -287,5 +294,21 @@ KernelSim pinj::simulateKernel(const MappedKernel &M, const GpuModel &Model) {
       (Model.IssueRateGops * 1e9) * 1e6;
   Sim.TimeUs =
       Model.LaunchOverheadUs + std::max(Sim.MemTimeUs, Sim.ComputeTimeUs);
+
+  static obs::Counter &Kernels =
+      obs::metrics().counter("gpusim.kernels_simulated");
+  static obs::Counter &Transactions =
+      obs::metrics().counter("gpusim.transactions");
+  static obs::Histogram &TxPerKernel =
+      obs::metrics().histogram("gpusim.transactions_per_kernel");
+  Kernels.inc();
+  Transactions.add(
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, Sim.Transactions))));
+  TxPerKernel.observe(Sim.Transactions);
+  if (Sp.active())
+    Sp.arg("kernel", M.K->Name)
+        .arg("transactions", Sim.Transactions)
+        .arg("warps", Sim.Warps)
+        .arg("time_us", Sim.TimeUs);
   return Sim;
 }

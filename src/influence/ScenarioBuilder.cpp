@@ -2,6 +2,9 @@
 
 #include "influence/ScenarioBuilder.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace pinj;
@@ -10,6 +13,9 @@ double pinj::dimensionCost(const Statement &S,
                            const std::vector<AccessStrides> &Strides,
                            unsigned Iter, bool Innermost, Int ThreadLimit,
                            const CostWeights &W) {
+  static obs::Counter &CostEvals =
+      obs::metrics().counter("influence.cost_evals");
+  CostEvals.inc();
   double Cost = 0;
 
   // Vector terms |V_w| and |V_r|: only for the innermost position.
@@ -129,6 +135,7 @@ DimScenario pinj::buildBestScenario(const Kernel &K, unsigned Stmt,
 std::vector<DimScenario>
 pinj::buildScenarioAlternatives(const Kernel &K, unsigned Stmt,
                                 const InfluenceOptions &Options) {
+  obs::Span Sp("influence.scenarios");
   const Statement &S = K.Stmts[Stmt];
   std::vector<AccessStrides> Strides = analyzeStrides(K, S);
   std::vector<DimScenario> Alternatives;
@@ -140,7 +147,18 @@ pinj::buildScenarioAlternatives(const Kernel &K, unsigned Stmt,
                        return A.InnerCost > B.InnerCost;
                      return A.Score > B.Score;
                    });
+  unsigned Enumerated = static_cast<unsigned>(Alternatives.size());
   if (Alternatives.size() > Options.MaxScenarios)
     Alternatives.resize(Options.MaxScenarios);
+  static obs::Counter &EnumeratedCount =
+      obs::metrics().counter("influence.scenarios_enumerated");
+  static obs::Counter &RejectedCount =
+      obs::metrics().counter("influence.scenarios_rejected");
+  EnumeratedCount.add(Enumerated);
+  RejectedCount.add(Enumerated - Alternatives.size());
+  if (Sp.active())
+    Sp.arg("stmt", S.Name)
+        .arg("enumerated", Enumerated)
+        .arg("kept", Alternatives.size());
   return Alternatives;
 }

@@ -2,6 +2,8 @@
 
 #include "lp/Ilp.h"
 
+#include "obs/Metrics.h"
+
 #include <optional>
 
 using namespace pinj;
@@ -90,6 +92,17 @@ private:
 IlpResult pinj::solveIlp(const IlpProblem &Problem) {
   assert(Problem.IsInteger.size() == Problem.numVars() &&
          "integrality flags out of sync");
+  static obs::Counter &Solves = obs::metrics().counter("lp.ilp_solves");
+  static obs::Counter &Failures = obs::metrics().counter("lp.ilp_failures");
+  static obs::Counter &Nodes = obs::metrics().counter("lp.ilp_nodes");
+  static obs::Histogram &NodesPerSolve =
+      obs::metrics().histogram("lp.ilp_nodes_per_solve");
+  Solves.inc();
   BranchAndBound Solver(Problem);
-  return Solver.run();
+  IlpResult Result = Solver.run();
+  if (!Result.isOptimal())
+    Failures.inc();
+  Nodes.add(Result.NodesExplored);
+  NodesPerSolve.observe(Result.NodesExplored);
+  return Result;
 }

@@ -2,6 +2,8 @@
 
 #include "lp/Simplex.h"
 
+#include "obs/Metrics.h"
+
 using namespace pinj;
 
 void LpProblem::addUpperBound(unsigned Var, Int Bound) {
@@ -95,7 +97,10 @@ public:
     }
   }
 
+  unsigned pivots() const { return PivotCount; }
+
   void pivot(unsigned PivotRow, unsigned PivotCol) {
+    ++PivotCount;
     Rational Pivot = Cells[PivotRow][PivotCol];
     assert(!Pivot.isZero() && "pivot on zero entry");
     for (unsigned C = 0; C <= Cols; ++C)
@@ -121,11 +126,18 @@ private:
   std::vector<std::vector<Rational>> Cells;
   std::vector<Rational> ObjRow;
   std::vector<unsigned> Basis;
+  unsigned PivotCount = 0;
 };
 
 } // namespace
 
 LpResult pinj::solveLp(const LpProblem &Problem) {
+  static obs::Counter &SimplexSolves =
+      obs::metrics().counter("lp.simplex_solves");
+  static obs::Counter &SimplexPivots =
+      obs::metrics().counter("lp.simplex_pivots");
+  SimplexSolves.inc();
+
   unsigned NumStructural = Problem.NumVars;
   unsigned NumRows = Problem.Constraints.size();
 
@@ -199,6 +211,7 @@ LpResult pinj::solveLp(const LpProblem &Problem) {
     (void)Bounded;
     if (!T.objValue().isZero()) {
       // Nonzero phase-1 optimum (objValue holds -(sum of artificials)).
+      SimplexPivots.add(T.pivots());
       LpResult Result;
       Result.Status = LpResult::Infeasible;
       return Result;
@@ -248,10 +261,12 @@ LpResult pinj::solveLp(const LpProblem &Problem) {
   // nonbasic ones keep +1, so they never enter.
 
   if (!T.minimize()) {
+    SimplexPivots.add(T.pivots());
     LpResult Result;
     Result.Status = LpResult::Unbounded;
     return Result;
   }
+  SimplexPivots.add(T.pivots());
 
   LpResult Result;
   Result.Status = LpResult::Optimal;

@@ -1,0 +1,69 @@
+//===- obs/Json.h - Minimal JSON value, parser and writer help --*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON layer for the observability subsystem:
+/// enough of a recursive-descent parser to validate the Chrome trace
+/// files and metrics sidecars this project emits (and to inspect them in
+/// tests), plus the string-escaping helper the writers share. Not a
+/// general-purpose JSON library; numbers are doubles, objects preserve
+/// member order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_OBS_JSON_H
+#define POLYINJECT_OBS_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pinj {
+namespace obs {
+namespace json {
+
+/// One parsed JSON value.
+struct Value {
+  enum KindTy { Null, Bool, Number, String, Array, Object };
+
+  KindTy Kind = Null;
+  bool BoolVal = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Items;                            ///< Array elements.
+  std::vector<std::pair<std::string, Value>> Members;  ///< Object members.
+
+  bool isNull() const { return Kind == Null; }
+  bool isBool() const { return Kind == Bool; }
+  bool isNumber() const { return Kind == Number; }
+  bool isString() const { return Kind == String; }
+  bool isArray() const { return Kind == Array; }
+  bool isObject() const { return Kind == Object; }
+
+  /// Member \p Key of an object, or null when absent / not an object.
+  const Value *find(const std::string &Key) const;
+  /// Like find, but returns a Null-kind sentinel instead of nullptr.
+  const Value &at(const std::string &Key) const;
+};
+
+/// Parses \p Text as one JSON document (trailing garbage is an error).
+/// \returns nullopt and sets \p Error on malformed input.
+std::optional<Value> parse(const std::string &Text, std::string &Error);
+
+/// Escapes \p S for inclusion inside a JSON string literal (no quotes).
+std::string escape(const std::string &S);
+
+/// Renders a double the way the writers in this subsystem do: fixed
+/// notation, trimmed, never "nan"/"inf" (clamped to 0).
+std::string number(double V);
+
+} // namespace json
+} // namespace obs
+} // namespace pinj
+
+#endif // POLYINJECT_OBS_JSON_H

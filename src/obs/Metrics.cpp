@@ -1,0 +1,153 @@
+//===- obs/Metrics.cpp ----------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace pinj;
+using namespace pinj::obs;
+
+void Histogram::observe(double Sample) {
+  if (N == 0) {
+    Min = Max = Sample;
+  } else {
+    Min = std::min(Min, Sample);
+    Max = std::max(Max, Sample);
+  }
+  ++N;
+  Sum += Sample;
+  unsigned Bucket = 0;
+  if (Sample >= 1) {
+    double Bound = 1;
+    while (Bucket + 1 < NumBuckets && Sample >= Bound) {
+      ++Bucket;
+      Bound *= 2;
+    }
+  }
+  ++Buckets[Bucket];
+}
+
+void Histogram::reset() {
+  N = 0;
+  Sum = Min = Max = 0;
+  for (std::uint64_t &B : Buckets)
+    B = 0;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+const HistogramSummary *
+MetricsSnapshot::histogram(const std::string &Name) const {
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : &It->second;
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot &Before) const {
+  MetricsSnapshot Delta;
+  for (const auto &[Name, Value] : Counters) {
+    std::uint64_t Base = Before.counter(Name);
+    Delta.Counters[Name] = Value >= Base ? Value - Base : 0;
+  }
+  for (const auto &[Name, Summary] : Histograms) {
+    HistogramSummary D = Summary;
+    if (const HistogramSummary *Base = Before.histogram(Name)) {
+      D.Count = Summary.Count >= Base->Count ? Summary.Count - Base->Count : 0;
+      D.Sum = Summary.Sum - Base->Sum;
+    }
+    Delta.Histograms[Name] = D;
+  }
+  return Delta;
+}
+
+std::string MetricsSnapshot::json() const {
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + json::escape(Name) + "\":" + std::to_string(Value);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + json::escape(Name) +
+           "\":{\"count\":" + std::to_string(H.Count) +
+           ",\"sum\":" + json::number(H.Sum) +
+           ",\"min\":" + json::number(H.Min) +
+           ",\"max\":" + json::number(H.Max) + '}';
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string MetricsSnapshot::table() const {
+  size_t Width = 0;
+  for (const auto &[Name, Value] : Counters)
+    if (Value != 0)
+      Width = std::max(Width, Name.size());
+  for (const auto &[Name, H] : Histograms)
+    if (H.Count != 0)
+      Width = std::max(Width, Name.size());
+
+  std::string Out;
+  char Buf[160];
+  for (const auto &[Name, Value] : Counters) {
+    if (Value == 0)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "%-*s %12llu\n",
+                  static_cast<int>(Width), Name.c_str(),
+                  static_cast<unsigned long long>(Value));
+    Out += Buf;
+  }
+  for (const auto &[Name, H] : Histograms) {
+    if (H.Count == 0)
+      continue;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-*s %12llu  (sum %.0f, min %.0f, max %.0f, mean %.1f)\n",
+                  static_cast<int>(Width), Name.c_str(),
+                  static_cast<unsigned long long>(H.Count), H.Sum, H.Min,
+                  H.Max, H.Count ? H.Sum / static_cast<double>(H.Count) : 0.0);
+    Out += Buf;
+  }
+  return Out;
+}
+
+MetricsRegistry &MetricsRegistry::get() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  return Counters[Name];
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  return Histograms[Name];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C.value();
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms[Name] = {H.count(), H.sum(), H.min(), H.max()};
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  for (auto &[Name, C] : Counters)
+    C.reset();
+  for (auto &[Name, H] : Histograms)
+    H.reset();
+}

@@ -1,0 +1,124 @@
+//===- obs/Metrics.h - Process-wide metrics registry ------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters and histograms for the scheduling pipeline: ILP
+/// solves/failures/nodes, simplex pivots, dependences computed,
+/// scenarios enumerated, warps simulated, memory transactions, and
+/// whatever future phases need. Counters are always on — one 64-bit add
+/// through a cached reference — so per-operator deltas can be taken by
+/// diffing snapshots (`MetricsSnapshot::since`). `reset()` zeroes values
+/// in place, keeping references obtained from `counter()`/`histogram()`
+/// valid, so hot call sites may cache them in function-local statics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_OBS_METRICS_H
+#define POLYINJECT_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pinj {
+namespace obs {
+
+/// A monotonically increasing 64-bit counter.
+class Counter {
+public:
+  void inc() { ++Val; }
+  void add(std::uint64_t N) { Val += N; }
+  std::uint64_t value() const { return Val; }
+  void reset() { Val = 0; }
+
+private:
+  std::uint64_t Val = 0;
+};
+
+/// Count/sum/min/max plus power-of-two buckets over nonnegative samples.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void observe(double Sample);
+
+  std::uint64_t count() const { return N; }
+  double sum() const { return Sum; }
+  double min() const { return N ? Min : 0; }
+  double max() const { return N ? Max : 0; }
+  double mean() const { return N ? Sum / static_cast<double>(N) : 0; }
+  /// Samples in bucket \p I; bucket I holds samples < 2^I not placed in
+  /// an earlier bucket (bucket 0: samples < 1).
+  std::uint64_t bucket(unsigned I) const { return Buckets[I]; }
+  void reset();
+
+private:
+  std::uint64_t N = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+  std::uint64_t Buckets[NumBuckets] = {};
+};
+
+/// The diffable summary of one histogram.
+struct HistogramSummary {
+  std::uint64_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+};
+
+/// A point-in-time copy of every metric value; cheap to diff.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> Counters;
+  std::map<std::string, HistogramSummary> Histograms;
+
+  /// Counter \p Name's value, 0 when absent.
+  std::uint64_t counter(const std::string &Name) const;
+  /// Histogram \p Name's summary, or null when absent.
+  const HistogramSummary *histogram(const std::string &Name) const;
+
+  /// Per-entry difference: this minus \p Before (entries absent from
+  /// Before count from zero). Histogram Min/Max keep this snapshot's
+  /// values (extrema are not diffable).
+  MetricsSnapshot since(const MetricsSnapshot &Before) const;
+
+  /// {"counters":{...},"histograms":{"n":{"count":..,"sum":..,...}}}.
+  std::string json() const;
+
+  /// A compact aligned "name  value" text table of nonzero entries.
+  std::string table() const;
+
+  bool empty() const { return Counters.empty() && Histograms.empty(); }
+};
+
+/// The process-wide registry.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &get();
+
+  /// The counter/histogram named \p Name, created on first use. The
+  /// returned reference stays valid for the process lifetime.
+  Counter &counter(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value in place; references stay valid.
+  void reset();
+
+private:
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Histogram> Histograms;
+};
+
+inline MetricsRegistry &metrics() { return MetricsRegistry::get(); }
+
+} // namespace obs
+} // namespace pinj
+
+#endif // POLYINJECT_OBS_METRICS_H

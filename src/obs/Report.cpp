@@ -1,0 +1,69 @@
+//===- obs/Report.cpp -----------------------------------------------------===//
+
+#include "obs/Report.h"
+
+#include "obs/Json.h"
+
+#include <fstream>
+
+using namespace pinj;
+using namespace pinj::obs;
+
+namespace {
+
+void appendConfig(std::string &Out, const ConfigRecord &C) {
+  Out += "{\"name\":\"" + json::escape(C.Name) + '"';
+  Out += ",\"time_us\":" + json::number(C.TimeUs);
+  Out += ",\"transactions\":" + json::number(C.Transactions);
+  Out += ",\"transaction_bytes\":" + json::number(C.TransactionBytes);
+  Out += ",\"useful_bytes\":" + json::number(C.UsefulBytes);
+  Out += ",\"metrics\":" + C.Metrics.json();
+  Out += '}';
+}
+
+} // namespace
+
+std::string ReportSink::json() const {
+  std::string Out = "{\"operators\":[";
+  bool FirstOp = true;
+  for (const OperatorRecord &Op : Operators) {
+    if (!FirstOp)
+      Out += ',';
+    FirstOp = false;
+    Out += "{\"name\":\"" + json::escape(Op.Name) + '"';
+    Out += ",\"influenced\":";
+    Out += Op.Influenced ? "true" : "false";
+    Out += ",\"vec_eligible\":";
+    Out += Op.VecEligible ? "true" : "false";
+    Out += ",\"validated\":";
+    Out += Op.Validated ? "true" : "false";
+    Out += ",\"configs\":[";
+    bool FirstCfg = true;
+    for (const ConfigRecord &C : Op.Configs) {
+      if (!FirstCfg)
+        Out += ',';
+      FirstCfg = false;
+      appendConfig(Out, C);
+    }
+    Out += "],\"metrics\":" + Op.Metrics.json();
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool ReportSink::writeJson(const std::string &Path,
+                           std::string &Error) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out << json() << '\n';
+  Out.close();
+  if (!Out) {
+    Error = "error writing " + Path;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,72 @@
+//===- obs/Report.h - Per-operator metrics sidecar --------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects one record per operator run through the pipeline and emits a
+/// JSON metrics sidecar — the telemetry stream for regression tracking
+/// and for learned-autotuning work that needs per-schedule measurements.
+/// The sink stores its own plain records (filled by pipeline code) so
+/// the observability layer stays below every other library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_OBS_REPORT_H
+#define POLYINJECT_OBS_REPORT_H
+
+#include "obs/Metrics.h"
+
+#include <vector>
+
+namespace pinj {
+namespace obs {
+
+/// Measurements of one configuration of one operator.
+struct ConfigRecord {
+  std::string Name; ///< "isl", "novec", "infl", "tvm".
+  double TimeUs = 0;
+  double Transactions = 0;
+  double TransactionBytes = 0;
+  double UsefulBytes = 0;
+  MetricsSnapshot Metrics; ///< Delta attributed to this configuration.
+};
+
+/// One operator's sidecar entry.
+struct OperatorRecord {
+  std::string Name;
+  bool Influenced = false;
+  bool VecEligible = false;
+  bool Validated = false;
+  std::vector<ConfigRecord> Configs;
+  MetricsSnapshot Metrics; ///< Whole-operator delta.
+};
+
+/// Accumulates operator records and serializes them as one JSON
+/// document: {"operators":[...]}.
+class ReportSink {
+public:
+  void add(OperatorRecord Record) {
+    Operators.push_back(std::move(Record));
+  }
+
+  const std::vector<OperatorRecord> &operators() const { return Operators; }
+  bool empty() const { return Operators.empty(); }
+  void clear() { Operators.clear(); }
+
+  std::string json() const;
+
+  /// Writes json() to \p Path. \returns false and sets \p Error on I/O
+  /// failure.
+  bool writeJson(const std::string &Path, std::string &Error) const;
+
+private:
+  std::vector<OperatorRecord> Operators;
+};
+
+} // namespace obs
+} // namespace pinj
+
+#endif // POLYINJECT_OBS_REPORT_H

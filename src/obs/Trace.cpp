@@ -1,0 +1,166 @@
+//===- obs/Trace.cpp ------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace pinj;
+using namespace pinj::obs;
+
+Tracer &Tracer::get() {
+  static Tracer T;
+  return T;
+}
+
+Tracer::Tracer() : Epoch(std::chrono::steady_clock::now()) {}
+
+double Tracer::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void Tracer::enable(unsigned ModeMask) {
+  Modes |= ModeMask;
+  EnabledFlag = Modes != 0;
+}
+
+void Tracer::disable() {
+  Modes = 0;
+  EnabledFlag = false;
+}
+
+void Tracer::reset() {
+  Events.clear();
+  OpenStack.clear();
+  Epoch = std::chrono::steady_clock::now();
+}
+
+unsigned Tracer::openSpan(const char *Name, const char *Category) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = Category;
+  E.Depth = static_cast<unsigned>(OpenStack.size());
+  E.BeginUs = nowUs();
+  unsigned Index = static_cast<unsigned>(Events.size());
+  Events.push_back(std::move(E));
+  OpenStack.push_back(Index);
+  return Index;
+}
+
+void Tracer::closeSpan(unsigned Index) {
+  // Guard against reset()/disable() between open and close.
+  if (Index >= Events.size())
+    return;
+  TraceEvent &E = Events[Index];
+  if (E.Closed)
+    return;
+  E.DurUs = nowUs() - E.BeginUs;
+  E.Closed = true;
+  assert(!OpenStack.empty() && OpenStack.back() == Index &&
+         "spans must close in LIFO order");
+  if (!OpenStack.empty() && OpenStack.back() == Index)
+    OpenStack.pop_back();
+  if (humanEnabled())
+    printHuman(E);
+  // Without JSON buffering there is no reader of closed events: drop
+  // them so a long human-mode run does not grow without bound.
+  if (!jsonEnabled() && OpenStack.empty()) {
+    Events.clear();
+  }
+}
+
+TraceEvent *Tracer::eventFor(unsigned Index) {
+  return Index < Events.size() ? &Events[Index] : nullptr;
+}
+
+void Tracer::printHuman(const TraceEvent &E) const {
+  std::string Args;
+  for (const TraceArg &A : E.Args) {
+    Args += ' ';
+    Args += A.Key;
+    Args += '=';
+    Args += A.Value;
+  }
+  std::fprintf(stderr, "[trace] %*s%s%s (%.1f us)\n", E.Depth * 2, "",
+               E.Name.c_str(), Args.c_str(), E.DurUs);
+}
+
+std::string Tracer::json() const {
+  std::string Out = "{\"traceEvents\":[";
+  bool First = true;
+  for (const TraceEvent &E : Events) {
+    if (!E.Closed)
+      continue; // Still open; no duration yet.
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"" + json::escape(E.Name) + "\",\"cat\":\"" +
+           json::escape(E.Category) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":1" +
+           ",\"ts\":" + json::number(E.BeginUs) +
+           ",\"dur\":" + json::number(E.DurUs);
+    if (!E.Args.empty()) {
+      Out += ",\"args\":{";
+      bool FirstArg = true;
+      for (const TraceArg &A : E.Args) {
+        if (!FirstArg)
+          Out += ',';
+        FirstArg = false;
+        Out += '"' + json::escape(A.Key) + "\":";
+        if (A.IsString)
+          Out += '"' + json::escape(A.Value) + '"';
+        else
+          Out += A.Value;
+      }
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool Tracer::writeJson(const std::string &Path, std::string &Error) const {
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  Out << json() << '\n';
+  Out.close();
+  if (!Out) {
+    Error = "error writing " + Path;
+    return false;
+  }
+  return true;
+}
+
+Span &Span::addArg(const char *Key, std::string Value, bool IsString) {
+  if (!Active)
+    return *this;
+  if (TraceEvent *E = Tracer::get().eventFor(Index))
+    E->Args.push_back({Key, std::move(Value), IsString});
+  return *this;
+}
+
+Span &Span::arg(const char *Key, double Value) {
+  return addArg(Key, json::number(Value), /*IsString=*/false);
+}
+
+namespace {
+
+/// POLYINJECT_TRACE=1 turns on the human-readable trace at startup — the
+/// alias for the historical ad-hoc scheduler stderr trace.
+[[maybe_unused]] const bool TraceEnvInit = [] {
+  const char *V = std::getenv("POLYINJECT_TRACE");
+  if (V && V[0] != '\0' && !(V[0] == '0' && V[1] == '\0'))
+    Tracer::get().enable(Tracer::Human);
+  return true;
+}();
+
+} // namespace

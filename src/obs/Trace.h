@@ -1,0 +1,169 @@
+//===- obs/Trace.h - Scoped-span tracer -------------------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead scoped-span tracer for the scheduling pipeline. RAII
+/// `Span` objects record nesting, wall-clock timing and key/value
+/// attributes; the process-wide `Tracer` serializes them to Chrome
+/// trace-event JSON (loadable in chrome://tracing or Perfetto) and to an
+/// indented human-readable stderr form.
+///
+/// Tracing is disabled by default and costs exactly one predictable
+/// branch per span in that state: `Span`'s constructor tests a static
+/// flag and does nothing else — no clock read, no allocation — so the
+/// hot ILP path is unaffected. `POLYINJECT_TRACE=1` in the environment
+/// enables the human-readable form at startup (the historical scheduler
+/// trace alias); programs enable JSON buffering explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_OBS_TRACE_H
+#define POLYINJECT_OBS_TRACE_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace pinj {
+namespace obs {
+
+/// One key/value attribute of a trace event. Value is stored rendered;
+/// IsString selects quoting in the JSON form.
+struct TraceArg {
+  std::string Key;
+  std::string Value;
+  bool IsString = true;
+};
+
+/// One closed (or still open) span.
+struct TraceEvent {
+  std::string Name;
+  std::string Category;
+  double BeginUs = 0; ///< Relative to the tracer epoch.
+  double DurUs = 0;
+  unsigned Depth = 0; ///< Nesting depth at open time.
+  bool Closed = false;
+  std::vector<TraceArg> Args;
+};
+
+/// The process-wide trace collector. Not thread-safe (the pipeline is
+/// single-threaded); all state lives behind `Tracer::get()`.
+class Tracer {
+public:
+  /// Output mode bits for enable().
+  enum ModeBits : unsigned {
+    Human = 1u, ///< Indented stderr line per closed span.
+    Json = 2u,  ///< Buffer events for json()/writeJson().
+  };
+
+  static Tracer &get();
+
+  /// Turns on the given output mode(s); modes accumulate.
+  void enable(unsigned ModeMask);
+  /// Turns all tracing off (buffered events are kept until reset()).
+  void disable();
+  bool enabled() const { return Modes != 0; }
+  bool humanEnabled() const { return (Modes & Human) != 0; }
+  bool jsonEnabled() const { return (Modes & Json) != 0; }
+
+  /// Drops all buffered events and restarts the epoch clock.
+  void reset();
+
+  /// The buffered events, in open order (parents before children).
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Chrome trace-event JSON of the buffered events:
+  /// {"traceEvents":[{"ph":"X",...},...]}.
+  std::string json() const;
+
+  /// Writes json() to \p Path. \returns false and sets \p Error on I/O
+  /// failure.
+  bool writeJson(const std::string &Path, std::string &Error) const;
+
+  /// The single branch the disabled fast path takes.
+  static bool fastEnabled() { return EnabledFlag; }
+
+  // Span implementation interface (not for direct use).
+  unsigned openSpan(const char *Name, const char *Category);
+  void closeSpan(unsigned Index);
+  TraceEvent *eventFor(unsigned Index);
+
+private:
+  Tracer();
+
+  double nowUs() const;
+  void printHuman(const TraceEvent &E) const;
+
+  static inline bool EnabledFlag = false;
+  unsigned Modes = 0;
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<TraceEvent> Events;
+  std::vector<unsigned> OpenStack;
+};
+
+inline Tracer &tracer() { return Tracer::get(); }
+
+/// A scoped span. Construct on the stack; destruction closes the span.
+/// When tracing is disabled, construction is a single branch and arg()
+/// calls are no-ops.
+class Span {
+public:
+  explicit Span(const char *Name, const char *Category = "pinj") {
+    if (!Tracer::fastEnabled())
+      return;
+    Index = Tracer::get().openSpan(Name, Category);
+    Active = true;
+  }
+  ~Span() {
+    if (Active)
+      Tracer::get().closeSpan(Index);
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  Span &arg(const char *Key, const std::string &Value) {
+    return addArg(Key, Value, /*IsString=*/true);
+  }
+  Span &arg(const char *Key, const char *Value) {
+    return addArg(Key, Value, /*IsString=*/true);
+  }
+  Span &arg(const char *Key, long long Value) {
+    return addArg(Key, std::to_string(Value), /*IsString=*/false);
+  }
+  Span &arg(const char *Key, unsigned long long Value) {
+    return addArg(Key, std::to_string(Value), /*IsString=*/false);
+  }
+  Span &arg(const char *Key, int Value) {
+    return arg(Key, static_cast<long long>(Value));
+  }
+  Span &arg(const char *Key, long Value) {
+    return arg(Key, static_cast<long long>(Value));
+  }
+  Span &arg(const char *Key, unsigned Value) {
+    return arg(Key, static_cast<unsigned long long>(Value));
+  }
+  Span &arg(const char *Key, unsigned long Value) {
+    return arg(Key, static_cast<unsigned long long>(Value));
+  }
+  Span &arg(const char *Key, bool Value) {
+    return addArg(Key, Value ? "true" : "false", /*IsString=*/false);
+  }
+  Span &arg(const char *Key, double Value);
+
+  bool active() const { return Active; }
+
+private:
+  Span &addArg(const char *Key, std::string Value, bool IsString);
+
+  bool Active = false;
+  unsigned Index = 0;
+};
+
+} // namespace obs
+} // namespace pinj
+
+#endif // POLYINJECT_OBS_TRACE_H

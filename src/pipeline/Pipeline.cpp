@@ -4,6 +4,9 @@
 
 #include "codegen/Vectorizer.h"
 #include "exec/Interpreter.h"
+#include "obs/Trace.h"
+
+#include <cstdio>
 
 using namespace pinj;
 
@@ -67,47 +70,144 @@ std::string pinj::renderCuda(const Kernel &K, const Schedule &S,
 
 OperatorReport pinj::runOperator(const Kernel &K,
                                  const PipelineOptions &Options) {
+  obs::Span Op("pipeline.operator");
+  if (Op.active())
+    Op.arg("name", K.Name);
+  obs::MetricsRegistry &M = obs::metrics();
+  static obs::Counter &Operators = M.counter("pipeline.operators");
+  Operators.inc();
+  obs::MetricsSnapshot Begin = M.snapshot();
+
   OperatorReport Report;
   Report.Name = K.Name;
 
   // Reference configuration: plain scheduling, SCCs serialized up front
   // (the isl behaviour observed in the paper's Fig. 2(b)).
-  SchedulerOptions IslOptions = Options.Sched;
-  IslOptions.SerializeSccs = true;
-  SchedulerResult IslRun = scheduleKernel(K, IslOptions);
-  finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
-  assert(backendAccepts(K, IslRun.Sched) &&
-         "reference schedule must be generatable");
-  Report.Isl = simulateConfig(K, IslRun.Sched, Options);
-  Report.Isl.Stats = IslRun.Stats;
+  SchedulerResult IslRun;
+  {
+    obs::Span Cfg("pipeline.config.isl");
+    SchedulerOptions IslOptions = Options.Sched;
+    IslOptions.SerializeSccs = true;
+    IslRun = scheduleKernel(K, IslOptions);
+    finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
+    assert(backendAccepts(K, IslRun.Sched) &&
+           "reference schedule must be generatable");
+    Report.Isl = simulateConfig(K, IslRun.Sched, Options);
+    Report.Isl.Stats = IslRun.Stats;
+  }
+  obs::MetricsSnapshot AfterIsl = M.snapshot();
+  Report.Isl.Metrics = AfterIsl.since(Begin);
 
   // Influenced scheduling (shared by novec and infl).
-  SchedulerResult InflRun = scheduleInfluenced(K, Options);
-  if (!backendAccepts(K, InflRun.Sched)) {
-    // The influenced schedule fused statements the backend cannot
-    // generate together; fall back to the reference schedule.
-    InflRun.Sched = IslRun.Sched;
-    InflRun.ReachedLeaf = nullptr;
-  }
-  Report.Influenced = !sameTransforms(InflRun.Sched, IslRun.Sched);
+  SchedulerResult InflRun;
+  {
+    obs::Span Cfg("pipeline.config.novec");
+    InflRun = scheduleInfluenced(K, Options);
+    if (!backendAccepts(K, InflRun.Sched)) {
+      // The influenced schedule fused statements the backend cannot
+      // generate together; fall back to the reference schedule.
+      InflRun.Sched = IslRun.Sched;
+      InflRun.ReachedLeaf = nullptr;
+    }
+    Report.Influenced = !sameTransforms(InflRun.Sched, IslRun.Sched);
 
-  Schedule NovecSched = InflRun.Sched;
-  finalizeVectorMarks(K, NovecSched, /*DisableVectorization=*/true);
-  Report.Novec = simulateConfig(K, NovecSched, Options);
-  Report.Novec.Stats = InflRun.Stats;
+    Schedule NovecSched = InflRun.Sched;
+    finalizeVectorMarks(K, NovecSched, /*DisableVectorization=*/true);
+    Report.Novec = simulateConfig(K, NovecSched, Options);
+    Report.Novec.Stats = InflRun.Stats;
+  }
+  obs::MetricsSnapshot AfterNovec = M.snapshot();
+  Report.Novec.Metrics = AfterNovec.since(AfterIsl);
 
   Schedule InflSched = InflRun.Sched;
-  Report.VecEligible =
-      finalizeVectorMarks(K, InflSched, /*DisableVectorization=*/false) > 0;
-  Report.Infl = simulateConfig(K, InflSched, Options);
-  Report.Infl.Stats = InflRun.Stats;
+  {
+    obs::Span Cfg("pipeline.config.infl");
+    Report.VecEligible =
+        finalizeVectorMarks(K, InflSched, /*DisableVectorization=*/false) > 0;
+    Report.Infl = simulateConfig(K, InflSched, Options);
+    Report.Infl.Stats = InflRun.Stats;
+  }
+  Report.Infl.Metrics = M.snapshot().since(AfterNovec);
 
   // Manual-schedule proxy.
-  Report.Tvm = simulateTvmProxy(K, Options.Gpu, Options.Mapping);
+  {
+    obs::Span Cfg("pipeline.config.tvm");
+    Report.Tvm = simulateTvmProxy(K, Options.Gpu, Options.Mapping);
+  }
 
   if (Options.Validate) {
+    obs::Span Val("pipeline.validate");
     Report.Validated = scheduleIsSemanticallyEqual(K, IslRun.Sched) &&
                        scheduleIsSemanticallyEqual(K, InflSched);
   }
+
+  Report.Metrics = M.snapshot().since(Begin);
+  if (Options.Sink)
+    Options.Sink->add(toSinkRecord(Report));
   return Report;
+}
+
+namespace {
+
+obs::ConfigRecord toConfigRecord(const char *Name, const ConfigResult &R) {
+  obs::ConfigRecord C;
+  C.Name = Name;
+  C.TimeUs = R.TimeUs;
+  C.Transactions = R.Sim.Transactions;
+  C.TransactionBytes = R.Sim.TransactionBytes;
+  C.UsefulBytes = R.Sim.UsefulBytes;
+  C.Metrics = R.Metrics;
+  return C;
+}
+
+} // namespace
+
+obs::OperatorRecord pinj::toSinkRecord(const OperatorReport &R) {
+  obs::OperatorRecord Record;
+  Record.Name = R.Name;
+  Record.Influenced = R.Influenced;
+  Record.VecEligible = R.VecEligible;
+  Record.Validated = R.Validated;
+  Record.Configs.push_back(toConfigRecord("isl", R.Isl));
+  Record.Configs.push_back(toConfigRecord("novec", R.Novec));
+  Record.Configs.push_back(toConfigRecord("infl", R.Infl));
+  obs::ConfigRecord Tvm;
+  Tvm.Name = "tvm";
+  Tvm.TimeUs = R.Tvm.TimeUs;
+  Record.Configs.push_back(std::move(Tvm));
+  Record.Metrics = R.Metrics;
+  return Record;
+}
+
+std::string pinj::printStatsTable(const OperatorReport &R) {
+  char Buf[256];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf), "%-6s %10s %13s %10s %10s %10s %9s\n",
+                "config", "time_us", "transactions", "ilp_solves",
+                "ilp_nodes", "pivots", "fallbacks");
+  Out += Buf;
+  auto Row = [&](const char *Name, const ConfigResult &C) {
+    const SchedulerStats &S = C.Stats;
+    unsigned long long Fallbacks = S.ProgressionDrops + S.SiblingMoves +
+                                   S.BandBreaks + S.AncestorBacktracks +
+                                   S.SccCuts;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%-6s %10.2f %13.0f %10llu %10llu %10llu %9llu\n", Name,
+                  C.TimeUs, C.Sim.Transactions,
+                  static_cast<unsigned long long>(
+                      C.Metrics.counter("lp.ilp_solves")),
+                  static_cast<unsigned long long>(
+                      C.Metrics.counter("lp.ilp_nodes")),
+                  static_cast<unsigned long long>(
+                      C.Metrics.counter("lp.simplex_pivots")),
+                  Fallbacks);
+    Out += Buf;
+  };
+  Row("isl", R.Isl);
+  Row("novec", R.Novec);
+  Row("infl", R.Infl);
+  std::snprintf(Buf, sizeof(Buf), "%-6s %10.2f %13s (%u launches)\n", "tvm",
+                R.Tvm.TimeUs, "-", R.Tvm.Launches);
+  Out += Buf;
+  return Out;
 }

@@ -22,6 +22,7 @@
 #include "baselines/TvmProxy.h"
 #include "codegen/Ast.h"
 #include "influence/TreeBuilder.h"
+#include "obs/Report.h"
 #include "sched/Scheduler.h"
 
 namespace pinj {
@@ -35,6 +36,9 @@ struct PipelineOptions {
   /// Execute original vs scheduled order on real buffers and compare
   /// (slow; meant for tests and small shapes).
   bool Validate = false;
+  /// When set, runOperator appends one record per operator here (the
+  /// JSON metrics sidecar; see obs/Report.h).
+  obs::ReportSink *Sink = nullptr;
 };
 
 /// Result of one configuration of one operator.
@@ -43,6 +47,10 @@ struct ConfigResult {
   KernelSim Sim;
   double TimeUs = 0;
   SchedulerStats Stats;
+  /// Pipeline metrics delta attributed to this configuration (isl:
+  /// reference scheduling + simulation; novec: influenced scheduling +
+  /// simulation; infl: vector finalization + simulation).
+  obs::MetricsSnapshot Metrics;
 };
 
 /// The paper's per-operator measurements.
@@ -61,6 +69,9 @@ struct OperatorReport {
   /// Set when Validate was requested and every schedule matched the
   /// reference execution.
   bool Validated = false;
+  /// Whole-operator pipeline metrics delta (covers all configurations,
+  /// the tvm proxy and validation).
+  obs::MetricsSnapshot Metrics;
 };
 
 /// Runs the full pipeline on \p K.
@@ -74,6 +85,13 @@ SchedulerResult scheduleInfluenced(const Kernel &K,
 /// The CUDA-like rendering of a scheduled kernel.
 std::string renderCuda(const Kernel &K, const Schedule &S,
                        const GpuMappingOptions &Mapping);
+
+/// A compact per-configuration stats table for one operator report:
+/// time, transactions, ILP solves/nodes, simplex pivots, fallbacks.
+std::string printStatsTable(const OperatorReport &R);
+
+/// Converts a report to the sidecar record shape (see obs/Report.h).
+obs::OperatorRecord toSinkRecord(const OperatorReport &R);
 
 } // namespace pinj
 

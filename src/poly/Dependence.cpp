@@ -2,6 +2,9 @@
 
 #include "poly/Dependence.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 using namespace pinj;
 
 const char *pinj::depKindName(DepKind Kind) {
@@ -151,6 +154,8 @@ DepKind classify(bool SrcWrites, bool DstWrites) {
 
 std::vector<DependenceRelation>
 pinj::computeDependences(const Kernel &K, const DependenceOptions &Options) {
+  obs::Span S("poly.dependences");
+  unsigned Pairs = 0;
   std::vector<DependenceRelation> Result;
   for (unsigned Src = 0, NS = K.Stmts.size(); Src != NS; ++Src) {
     for (unsigned Dst = 0; Dst != NS; ++Dst) {
@@ -162,11 +167,24 @@ pinj::computeDependences(const Kernel &K, const DependenceOptions &Options) {
           DepKind Kind = classify(SrcAcc->IsWrite, DstAcc->IsWrite);
           if (Kind == DepKind::Input && !Options.IncludeInput)
             continue;
+          ++Pairs;
           Analyzer.analyze(*SrcAcc, *DstAcc, Kind, Result);
         }
       }
     }
   }
+  static obs::Counter &Runs = obs::metrics().counter("poly.dependence_runs");
+  static obs::Counter &Deps =
+      obs::metrics().counter("poly.dependences_computed");
+  static obs::Counter &PairCount =
+      obs::metrics().counter("poly.access_pairs_analyzed");
+  Runs.inc();
+  Deps.add(Result.size());
+  PairCount.add(Pairs);
+  if (S.active())
+    S.arg("kernel", K.Name)
+        .arg("pairs", Pairs)
+        .arg("relations", Result.size());
   return Result;
 }
 

@@ -3,10 +3,10 @@
 #include "sched/Scheduler.h"
 
 #include "math/LinearAlgebra.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <optional>
 #include <tuple>
@@ -14,6 +14,25 @@
 using namespace pinj;
 
 namespace {
+
+/// Folds one run's counters into the process-wide metrics registry (the
+/// generalization of the ad-hoc SchedulerStats struct).
+void recordSchedulerStats(const SchedulerStats &S) {
+  obs::MetricsRegistry &M = obs::metrics();
+  M.counter("sched.runs").inc();
+  M.counter("sched.ilp_solves").add(S.IlpSolves);
+  M.counter("sched.ilp_failures").add(S.IlpFailures);
+  M.counter("sched.ilp_nodes").add(S.IlpNodes);
+  M.counter("sched.progression_drops").add(S.ProgressionDrops);
+  M.counter("sched.sibling_moves").add(S.SiblingMoves);
+  M.counter("sched.band_breaks").add(S.BandBreaks);
+  M.counter("sched.ancestor_backtracks").add(S.AncestorBacktracks);
+  M.counter("sched.scc_cuts").add(S.SccCuts);
+  M.counter("sched.meta_rejections").add(S.MetaRejections);
+  M.counter("sched.feautrier_dims").add(S.FeautrierDims);
+  if (S.TreeAbandoned)
+    M.counter("sched.trees_abandoned").inc();
+}
 
 /// Tarjan's strongly connected components over the statement graph whose
 /// edges are the active dependence relations. SCC ids are assigned in
@@ -111,17 +130,17 @@ public:
     if (Options.SerializeSccs)
       serializeSccsUpfront();
 
-    // Set POLYINJECT_TRACE=1 to trace the construction on stderr.
-    static const bool Trace = std::getenv("POLYINJECT_TRACE") != nullptr;
+    // POLYINJECT_TRACE=1 (or any trace sink) shows one span per
+    // dimension attempt with the construction state as attributes.
     bool ProgressionDisabled = false;
     while (!done()) {
-      if (Trace)
-        std::fprintf(stderr,
-                     "[sched] dim=%zu node=%s active=%zu fullrank=%d "
-                     "nop=%d\n",
-                     Partial.Dims.size(),
-                     Node ? Node->Label.c_str() : "-", Active.size(),
-                     (int)allFullRank(), (int)ProgressionDisabled);
+      obs::Span DimSpan("sched.dim");
+      if (DimSpan.active())
+        DimSpan.arg("depth", Partial.Dims.size())
+            .arg("node", Node ? Node->Label.c_str() : "-")
+            .arg("active", Active.size())
+            .arg("fullrank", allFullRank())
+            .arg("progression", !ProgressionDisabled);
       if (Partial.Dims.size() >= Options.MaxDims)
         fatalError("scheduling exceeded the dimension limit");
       unsigned D = Partial.Dims.size();
@@ -140,12 +159,14 @@ public:
 
       // Fallback 1: influence requests a supplementary dimension.
       if (Active.empty() && Node && !ProgressionDisabled) {
+        fallbackSpan("progression_drop");
         ProgressionDisabled = true;
         ++Stats.ProgressionDrops;
         continue;
       }
       // Fallback 2: next sibling scenario at the same depth.
       if (Node && Node->rightSibling()) {
+        fallbackSpan("sibling_move");
         Node = Node->rightSibling();
         Active = Backups[D].Active;
         ProgressionDisabled = false;
@@ -154,6 +175,7 @@ public:
       }
       // Fallback 3: end the permutable band by dropping carried deps.
       if (dropCarriedDeps()) {
+        fallbackSpan("band_break");
         ProgressionDisabled = false;
         NextStartsBand = true;
         ++Stats.BandBreaks;
@@ -164,18 +186,21 @@ public:
       // mentions in Section IV-B).
       if (Options.UseFeautrierFallback && !Active.empty() &&
           attemptFeautrier()) {
+        fallbackSpan("feautrier_dim");
         ProgressionDisabled = false;
         ++Stats.FeautrierDims;
         continue;
       }
       // Fallback 4: backtrack to the closest ancestor sibling.
       if (Node && backtrackToAncestorSibling()) {
+        fallbackSpan("ancestor_backtrack");
         ProgressionDisabled = false;
         ++Stats.AncestorBacktracks;
         continue;
       }
       // Fallback 5: separate strongly connected components.
       if (separateSccs()) {
+        fallbackSpan("scc_cut");
         ProgressionDisabled = false;
         ++Stats.SccCuts;
         continue;
@@ -187,7 +212,9 @@ public:
         continue;
       // Ultimately: abandon the influence tree entirely.
       if (Node || Tree) {
+        fallbackSpan("tree_abandon");
         Stats.TreeAbandoned = true;
+        recordSchedulerStats(Stats);
         return false;
       }
       fatalError("scheduling construction is stuck");
@@ -195,10 +222,19 @@ public:
     Result.Sched = Partial;
     Result.Stats = Stats;
     Result.ReachedLeaf = ReachedLeaf;
+    recordSchedulerStats(Stats);
     return true;
   }
 
 private:
+  /// Emits one zero-length marker span per fallback activation so
+  /// traces show where (and at what depth) the construction backed off.
+  void fallbackSpan(const char *Kind) const {
+    if (!obs::Tracer::fastEnabled())
+      return;
+    obs::Span F("sched.fallback");
+    F.arg("kind", Kind).arg("depth", Partial.Dims.size());
+  }
   bool allFullRank() const {
     for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
       IntMatrix H = Partial.iteratorPart(K, S);
@@ -245,7 +281,10 @@ private:
       addInfluence(Ilp, K, *Node, Partial, Partial.Dims.size());
     addObjectives(Ilp, K, Options, Node, Partial.Dims.size());
     ++Stats.IlpSolves;
+    obs::Span IlpSpan("sched.ilp");
     IlpResult R = Ilp.Builder.solve();
+    if (IlpSpan.active())
+      IlpSpan.arg("optimal", R.isOptimal()).arg("nodes", R.NodesExplored);
     Stats.IlpNodes += R.NodesExplored;
     if (!R.isOptimal())
       ++Stats.IlpFailures;
@@ -507,6 +546,9 @@ private:
 SchedulerResult pinj::scheduleKernel(const Kernel &K,
                                      const SchedulerOptions &Options,
                                      const InfluenceTree *Tree) {
+  obs::Span S("sched.schedule");
+  if (S.active())
+    S.arg("kernel", K.Name).arg("influenced", Tree != nullptr);
   {
     Construction C(K, Options, Tree);
     SchedulerResult Result;

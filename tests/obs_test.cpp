@@ -1,0 +1,356 @@
+//===- tests/obs_test.cpp - observability subsystem tests -----------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Report.h"
+#include "obs/Trace.h"
+#include "pipeline/Pipeline.h"
+#include "TestKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinj;
+
+namespace {
+
+/// Enables JSON span buffering for one test and restores the previous
+/// tracer state afterwards (the tracer is process-wide and other suites
+/// run in the same binary).
+class TracerGuard {
+public:
+  TracerGuard() {
+    obs::tracer().disable();
+    obs::tracer().reset();
+    obs::tracer().enable(obs::Tracer::Json);
+  }
+  ~TracerGuard() {
+    obs::tracer().disable();
+    obs::tracer().reset();
+  }
+};
+
+/// Checks that every event nests inside the closest preceding event of
+/// smaller depth (events are stored in open order).
+void expectContainment(const std::vector<obs::TraceEvent> &Events) {
+  std::vector<const obs::TraceEvent *> Stack;
+  for (const obs::TraceEvent &E : Events) {
+    ASSERT_TRUE(E.Closed) << E.Name;
+    while (!Stack.empty() && Stack.back()->Depth >= E.Depth)
+      Stack.pop_back();
+    if (!Stack.empty()) {
+      const obs::TraceEvent &Parent = *Stack.back();
+      EXPECT_GE(E.BeginUs, Parent.BeginUs - 1e-6)
+          << E.Name << " starts before parent " << Parent.Name;
+      EXPECT_LE(E.BeginUs + E.DurUs, Parent.BeginUs + Parent.DurUs + 1e-6)
+          << E.Name << " ends after parent " << Parent.Name;
+    }
+    Stack.push_back(&E);
+  }
+}
+
+unsigned countEvents(const std::vector<obs::TraceEvent> &Events,
+                     const std::string &Name) {
+  unsigned N = 0;
+  for (const obs::TraceEvent &E : Events)
+    if (E.Name == Name)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tracer and Span
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, SpanNestingAndOrdering) {
+  TracerGuard Guard;
+  {
+    obs::Span Outer("outer");
+    {
+      obs::Span A("child_a");
+      A.arg("k", 1);
+    }
+    {
+      obs::Span B("child_b");
+      { obs::Span C("grandchild"); }
+    }
+  }
+  const std::vector<obs::TraceEvent> &Events = obs::tracer().events();
+  ASSERT_EQ(Events.size(), 4u);
+  // Open order: parents before children.
+  EXPECT_EQ(Events[0].Name, "outer");
+  EXPECT_EQ(Events[1].Name, "child_a");
+  EXPECT_EQ(Events[2].Name, "child_b");
+  EXPECT_EQ(Events[3].Name, "grandchild");
+  EXPECT_EQ(Events[0].Depth, 0u);
+  EXPECT_EQ(Events[1].Depth, 1u);
+  EXPECT_EQ(Events[2].Depth, 1u);
+  EXPECT_EQ(Events[3].Depth, 2u);
+  expectContainment(Events);
+  // Siblings do not overlap: child_a closed before child_b opened.
+  EXPECT_LE(Events[1].BeginUs + Events[1].DurUs, Events[2].BeginUs + 1e-6);
+}
+
+TEST(Trace, DisabledSpansCostNothingAndRecordNothing) {
+  obs::tracer().disable();
+  obs::tracer().reset();
+  {
+    obs::Span S("invisible");
+    EXPECT_FALSE(S.active());
+    S.arg("k", 42); // Must be a no-op, not a crash.
+  }
+  EXPECT_TRUE(obs::tracer().events().empty());
+}
+
+TEST(Trace, JsonIsWellFormedChromeTrace) {
+  TracerGuard Guard;
+  {
+    obs::Span S("phase \"quoted\"\\slash");
+    S.arg("kernel", "mm\n").arg("n", 3).arg("ratio", 0.5).arg("ok", true);
+  }
+  std::string Error;
+  std::optional<obs::json::Value> Doc =
+      obs::json::parse(obs::tracer().json(), Error);
+  ASSERT_TRUE(Doc) << Error;
+  const obs::json::Value *Events = Doc->find("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->Items.size(), 1u);
+  const obs::json::Value &E = Events->Items[0];
+  EXPECT_EQ(E.at("name").Str, "phase \"quoted\"\\slash");
+  EXPECT_EQ(E.at("ph").Str, "X");
+  EXPECT_TRUE(E.at("ts").isNumber());
+  EXPECT_TRUE(E.at("dur").isNumber());
+  EXPECT_GE(E.at("dur").Num, 0);
+  const obs::json::Value &Args = E.at("args");
+  ASSERT_TRUE(Args.isObject());
+  EXPECT_EQ(Args.at("kernel").Str, "mm\n");
+  EXPECT_EQ(Args.at("n").Num, 3);
+  EXPECT_EQ(Args.at("ratio").Num, 0.5);
+  EXPECT_TRUE(Args.at("ok").BoolVal);
+}
+
+TEST(Trace, ResetDropsEventsAndSurvivesOpenSpan) {
+  TracerGuard Guard;
+  {
+    obs::Span S("dropped");
+    obs::tracer().reset(); // Destructor must tolerate the stale index.
+  }
+  EXPECT_TRUE(obs::tracer().events().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  std::string Error;
+  std::optional<obs::json::Value> V = obs::json::parse(
+      " {\"a\": [1, -2.5, 1e2], \"b\": {\"c\": null, \"d\": false}, "
+      "\"s\": \"x\\u0041\\n\"} ",
+      Error);
+  ASSERT_TRUE(V) << Error;
+  const obs::json::Value &A = V->at("a");
+  ASSERT_TRUE(A.isArray());
+  ASSERT_EQ(A.Items.size(), 3u);
+  EXPECT_EQ(A.Items[0].Num, 1);
+  EXPECT_EQ(A.Items[1].Num, -2.5);
+  EXPECT_EQ(A.Items[2].Num, 100);
+  EXPECT_TRUE(V->at("b").at("c").isNull());
+  EXPECT_FALSE(V->at("b").at("d").BoolVal);
+  EXPECT_EQ(V->at("s").Str, "xA\n");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string Error;
+  EXPECT_FALSE(obs::json::parse("{\"a\":}", Error));
+  EXPECT_FALSE(obs::json::parse("[1, 2", Error));
+  EXPECT_FALSE(obs::json::parse("{} trailing", Error));
+  EXPECT_FALSE(obs::json::parse("", Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(Json, EscapeRoundTrips) {
+  std::string Raw = "tab\t quote\" back\\ newline\n ctrl\x01";
+  std::string Error;
+  std::optional<obs::json::Value> V =
+      obs::json::parse("\"" + obs::json::escape(Raw) + "\"", Error);
+  ASSERT_TRUE(V) << Error;
+  EXPECT_EQ(V->Str, Raw);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, CounterAccuracyAndSnapshotDiff) {
+  obs::MetricsRegistry &M = obs::metrics();
+  obs::Counter &C = M.counter("test.obs_counter");
+  obs::MetricsSnapshot Before = M.snapshot();
+  C.inc();
+  C.add(9);
+  obs::MetricsSnapshot After = M.snapshot();
+  EXPECT_EQ(After.since(Before).counter("test.obs_counter"), 10u);
+  // Absent names read as zero.
+  EXPECT_EQ(After.counter("test.never_created"), 0u);
+}
+
+TEST(Metrics, HistogramAccuracy) {
+  obs::Histogram &H = obs::metrics().histogram("test.obs_hist");
+  H.reset();
+  H.observe(1);
+  H.observe(3);
+  H.observe(8);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 12);
+  EXPECT_EQ(H.min(), 1);
+  EXPECT_EQ(H.max(), 8);
+  EXPECT_EQ(H.mean(), 4);
+  obs::MetricsSnapshot S = obs::metrics().snapshot();
+  const obs::HistogramSummary *Sum = S.histogram("test.obs_hist");
+  ASSERT_TRUE(Sum);
+  EXPECT_EQ(Sum->Count, 3u);
+  EXPECT_EQ(Sum->Sum, 12);
+}
+
+TEST(Metrics, ResetKeepsCachedReferencesValid) {
+  obs::MetricsRegistry &M = obs::metrics();
+  obs::Counter &C = M.counter("test.obs_reset");
+  C.add(5);
+  obs::MetricsSnapshot Mid = M.snapshot();
+  EXPECT_GE(Mid.counter("test.obs_reset"), 5u);
+  M.reset();
+  // The same reference must still work after reset() (hot call sites
+  // cache these in function-local statics).
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  EXPECT_EQ(M.snapshot().counter("test.obs_reset"), 1u);
+}
+
+TEST(Metrics, SnapshotJsonParsesBack) {
+  obs::MetricsRegistry &M = obs::metrics();
+  M.counter("test.obs_json").add(7);
+  M.histogram("test.obs_json_hist").observe(2);
+  obs::MetricsSnapshot S = M.snapshot();
+  std::string Error;
+  std::optional<obs::json::Value> Doc = obs::json::parse(S.json(), Error);
+  ASSERT_TRUE(Doc) << Error;
+  EXPECT_EQ(Doc->at("counters").at("test.obs_json").Num, 7);
+  EXPECT_EQ(Doc->at("histograms").at("test.obs_json_hist").at("count").Num,
+            1);
+  // table() lists the nonzero entries.
+  EXPECT_NE(S.table().find("test.obs_json"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ReportSink
+//===----------------------------------------------------------------------===//
+
+TEST(Report, SinkJsonParsesBack) {
+  obs::ReportSink Sink;
+  obs::OperatorRecord Op;
+  Op.Name = "mm";
+  Op.Influenced = true;
+  obs::ConfigRecord Cfg;
+  Cfg.Name = "infl";
+  Cfg.TimeUs = 12.5;
+  Cfg.Transactions = 64;
+  Cfg.Metrics.Counters["lp.ilp_solves"] = 4;
+  Op.Configs.push_back(Cfg);
+  Sink.add(Op);
+  std::string Error;
+  std::optional<obs::json::Value> Doc = obs::json::parse(Sink.json(), Error);
+  ASSERT_TRUE(Doc) << Error;
+  const obs::json::Value *Ops = Doc->find("operators");
+  ASSERT_TRUE(Ops && Ops->isArray());
+  ASSERT_EQ(Ops->Items.size(), 1u);
+  const obs::json::Value &O = Ops->Items[0];
+  EXPECT_EQ(O.at("name").Str, "mm");
+  EXPECT_TRUE(O.at("influenced").BoolVal);
+  const obs::json::Value *Configs = O.find("configs");
+  ASSERT_TRUE(Configs && Configs->isArray());
+  ASSERT_EQ(Configs->Items.size(), 1u);
+  EXPECT_EQ(Configs->Items[0].at("time_us").Num, 12.5);
+  EXPECT_EQ(
+      Configs->Items[0].at("metrics").at("counters").at("lp.ilp_solves").Num,
+      4);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration
+//===----------------------------------------------------------------------===//
+
+TEST(ObsPipeline, TraceCoversAllPhasesWithContainment) {
+  TracerGuard Guard;
+  Kernel K = makeRunningExample(16);
+  PipelineOptions Options;
+  runOperator(K, Options);
+  const std::vector<obs::TraceEvent> &Events = obs::tracer().events();
+  EXPECT_EQ(countEvents(Events, "pipeline.operator"), 1u);
+  EXPECT_GE(countEvents(Events, "poly.dependences"), 1u);
+  EXPECT_GE(countEvents(Events, "sched.schedule"), 2u); // isl + influenced
+  EXPECT_GE(countEvents(Events, "sched.dim"), 2u); // one per dimension
+  EXPECT_GE(countEvents(Events, "sched.ilp"), 1u);
+  EXPECT_GE(countEvents(Events, "influence.scenarios"), 1u);
+  EXPECT_GE(countEvents(Events, "codegen.map_to_gpu"), 1u);
+  EXPECT_GE(countEvents(Events, "gpusim.simulate"), 3u); // isl/novec/infl
+  expectContainment(Events);
+  // Every event sits inside the root pipeline.operator span.
+  const obs::TraceEvent &Root = Events.front();
+  ASSERT_EQ(Root.Name, "pipeline.operator");
+  for (const obs::TraceEvent &E : Events) {
+    EXPECT_GE(E.BeginUs, Root.BeginUs - 1e-6) << E.Name;
+    EXPECT_LE(E.BeginUs + E.DurUs, Root.BeginUs + Root.DurUs + 1e-6)
+        << E.Name;
+  }
+  // And the whole trace serializes to parseable Chrome JSON.
+  std::string Error;
+  ASSERT_TRUE(obs::json::parse(obs::tracer().json(), Error)) << Error;
+}
+
+TEST(ObsPipeline, RunOperatorAttributesMetricsAndFillsSink) {
+  Kernel K = makeRunningExample(16);
+  PipelineOptions Options;
+  obs::ReportSink Sink;
+  Options.Sink = &Sink;
+  OperatorReport R = runOperator(K, Options);
+  // The reference configuration solved ILPs while scheduling.
+  EXPECT_GT(R.Isl.Metrics.counter("lp.ilp_solves"), 0u);
+  EXPECT_GT(R.Isl.Metrics.counter("lp.simplex_pivots"), 0u);
+  // Simulation counted warps and memory transactions.
+  EXPECT_GT(R.Metrics.counter("gpusim.transactions"), 0u);
+  EXPECT_GT(R.Metrics.counter("gpusim.warps_simulated"), 0u);
+  EXPECT_GT(R.Metrics.counter("poly.dependences_computed"), 0u);
+  // The whole-operator delta dominates any per-config delta.
+  EXPECT_GE(R.Metrics.counter("lp.ilp_solves"),
+            R.Isl.Metrics.counter("lp.ilp_solves"));
+  // The sink got exactly this operator.
+  ASSERT_EQ(Sink.operators().size(), 1u);
+  EXPECT_EQ(Sink.operators()[0].Name, K.Name);
+  ASSERT_EQ(Sink.operators()[0].Configs.size(), 4u);
+  EXPECT_EQ(Sink.operators()[0].Configs[0].Name, "isl");
+  EXPECT_GT(Sink.operators()[0].Configs[0].Transactions, 0);
+  // The stats table mentions every configuration.
+  std::string Table = printStatsTable(R);
+  EXPECT_NE(Table.find("isl"), std::string::npos);
+  EXPECT_NE(Table.find("novec"), std::string::npos);
+  EXPECT_NE(Table.find("infl"), std::string::npos);
+  EXPECT_NE(Table.find("tvm"), std::string::npos);
+}
+
+TEST(ObsPipeline, FallbackSpansCarryKind) {
+  TracerGuard Guard;
+  // The producer/consumer pair needs fallback work under influence.
+  Kernel K = makeProducerConsumer(16, 16);
+  PipelineOptions Options;
+  runOperator(K, Options);
+  // Whatever fallbacks fired, each marker span names its kind.
+  for (const obs::TraceEvent &E : obs::tracer().events()) {
+    if (E.Name != "sched.fallback")
+      continue;
+    bool HasKind = false;
+    for (const obs::TraceArg &A : E.Args)
+      HasKind |= A.Key == std::string("kind") && !A.Value.empty();
+    EXPECT_TRUE(HasKind);
+  }
+}

@@ -10,6 +10,14 @@
 //                                               schedule,sim)
 //     --validate                        execute and compare semantics
 //     --feautrier                       enable the Feautrier fallback
+//     --trace-json=FILE                 write a Chrome trace-event file
+//                                       (open in chrome://tracing)
+//     --metrics-json=FILE               write the per-operator metrics
+//                                       sidecar
+//     --stats                           print the process metrics table
+//
+// POLYINJECT_TRACE=1 in the environment prints the human-readable span
+// trace on stderr.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +26,10 @@
 #include "influence/TreeBuilder.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Report.h"
+#include "obs/Trace.h"
 #include "pipeline/Pipeline.h"
 #include "poly/Dependence.h"
 
@@ -36,7 +48,8 @@ void printUsage(const char *Argv0) {
       stderr,
       "usage: %s [--config=isl|tvm|novec|infl|all] "
       "[--print=schedule,cuda,ast,tree,deps,sim] [--validate] "
-      "[--feautrier] kernel.pinj\n",
+      "[--feautrier] [--trace-json=FILE] [--metrics-json=FILE] [--stats] "
+      "kernel.pinj\n",
       Argv0);
 }
 
@@ -76,6 +89,9 @@ int main(int Argc, char **Argv) {
   std::set<std::string> Artifacts = {"schedule", "sim"};
   bool Validate = false;
   bool Feautrier = false;
+  bool Stats = false;
+  std::string TraceJsonPath;
+  std::string MetricsJsonPath;
   const char *Path = nullptr;
 
   for (int I = 1; I != Argc; ++I) {
@@ -88,6 +104,20 @@ int main(int Argc, char **Argv) {
       Validate = true;
     } else if (std::strcmp(Arg, "--feautrier") == 0) {
       Feautrier = true;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      Stats = true;
+    } else if (std::strncmp(Arg, "--trace-json=", 13) == 0) {
+      TraceJsonPath = Arg + 13;
+      if (TraceJsonPath.empty()) {
+        std::fprintf(stderr, "error: --trace-json needs a file name\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--metrics-json=", 15) == 0) {
+      MetricsJsonPath = Arg + 15;
+      if (MetricsJsonPath.empty()) {
+        std::fprintf(stderr, "error: --metrics-json needs a file name\n");
+        return 2;
+      }
     } else if (Arg[0] == '-') {
       printUsage(Argv[0]);
       return 2;
@@ -99,6 +129,8 @@ int main(int Argc, char **Argv) {
     printUsage(Argv[0]);
     return 2;
   }
+  if (!TraceJsonPath.empty())
+    obs::tracer().enable(obs::Tracer::Json);
 
   std::ifstream In(Path);
   if (!In) {
@@ -131,6 +163,9 @@ int main(int Argc, char **Argv) {
   PipelineOptions Options;
   Options.Validate = Validate;
   Options.Sched.UseFeautrierFallback = Feautrier;
+  obs::ReportSink Sink;
+  if (!MetricsJsonPath.empty() || Stats)
+    Options.Sink = &Sink;
   OperatorReport R = runOperator(*K, Options);
 
   bool All = ConfigArg == "all";
@@ -151,5 +186,40 @@ int main(int Argc, char **Argv) {
               R.Isl.TimeUs / R.Infl.TimeUs,
               Validate ? (R.Validated ? " validated=yes" : " validated=NO")
                        : "");
+
+  if (Stats) {
+    std::printf("\n==== per-config stats ====\n%s",
+                printStatsTable(R).c_str());
+    std::printf("\n==== process metrics ====\n%s",
+                obs::metrics().snapshot().table().c_str());
+  }
+  if (!MetricsJsonPath.empty() &&
+      !Sink.writeJson(MetricsJsonPath, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!TraceJsonPath.empty()) {
+    if (!obs::tracer().writeJson(TraceJsonPath, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    // Self-check: the file we just wrote must parse back as JSON with a
+    // traceEvents array, so CTest can rely on this exit code.
+    std::ifstream TraceIn(TraceJsonPath);
+    std::stringstream TraceBuffer;
+    TraceBuffer << TraceIn.rdbuf();
+    std::optional<obs::json::Value> Parsed =
+        obs::json::parse(TraceBuffer.str(), Error);
+    const obs::json::Value *Events =
+        Parsed ? Parsed->find("traceEvents") : nullptr;
+    if (!Parsed || !Events || !Events->isArray() || Events->Items.empty()) {
+      std::fprintf(stderr, "error: invalid trace file %s: %s\n",
+                   TraceJsonPath.c_str(),
+                   Error.empty() ? "missing traceEvents" : Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 Events->Items.size(), TraceJsonPath.c_str());
+  }
   return Validate && !R.Validated ? 1 : 0;
 }
