@@ -2,6 +2,8 @@
 
 #include "baselines/TvmProxy.h"
 
+#include "support/FailPoint.h"
+
 #include "influence/AccessAnalysis.h"
 
 #include <algorithm>
@@ -83,6 +85,7 @@ bool needsSharedMemoryTile(const Kernel &SubKernel, const Schedule &S) {
 
 TvmProxyResult pinj::simulateTvmProxy(const Kernel &K, const GpuModel &Model,
                                       const GpuMappingOptions &Mapping) {
+  failpoint::hit("baselines.tvm");
   TvmProxyResult Result;
   for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt) {
     Kernel Sub = extractStatement(K, Stmt);

@@ -2,6 +2,9 @@
 
 #include "codegen/Mapping.h"
 
+#include "support/FailPoint.h"
+#include "support/Status.h"
+
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -83,6 +86,7 @@ MappedKernel pinj::mapToGpu(const Kernel &K, const Schedule &S,
   static obs::Counter &Mapped =
       obs::metrics().counter("codegen.kernels_mapped");
   Mapped.inc();
+  failpoint::hit("codegen.map");
   if (Sp.active())
     Sp.arg("kernel", K.Name).arg("dims", S.numDims());
   MappedKernel M;
@@ -98,8 +102,11 @@ MappedKernel pinj::mapToGpu(const Kernel &K, const Schedule &S,
     Int Extent = 1;
     for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt) {
       RowShape Shape = analyzeRow(K, S, Stmt, D);
-      assert(Shape.Kind != RowShape::Other &&
-             "schedule row not generatable by this backend");
+      // Reachable when a caller skips the backendAccepts check, so this
+      // must hold in release builds too.
+      if (Shape.Kind == RowShape::Other)
+        raiseError(StatusCode::Internal, "codegen.map",
+                   "schedule row not generatable by this backend");
       if (Shape.Kind == RowShape::Unit) {
         M.IterDim[Stmt][Shape.Iter] = static_cast<int>(D);
         Extent = std::max(Extent, K.Stmts[Stmt].Extents[Shape.Iter]);

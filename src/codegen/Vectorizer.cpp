@@ -2,6 +2,8 @@
 
 #include "codegen/Vectorizer.h"
 
+#include "support/FailPoint.h"
+
 #include "codegen/Mapping.h"
 #include "poly/Dependence.h"
 
@@ -78,6 +80,7 @@ unsigned resolveWidth(const Kernel &K, const Schedule &S,
 
 unsigned pinj::finalizeVectorMarks(const Kernel &K, Schedule &S,
                                    bool DisableVectorization) {
+  failpoint::hit("codegen.vectorize");
   unsigned Surviving = 0;
   std::vector<DependenceRelation> Deps = computeDependences(K);
   for (unsigned D = 0, ND = S.numDims(); D != ND; ++D) {

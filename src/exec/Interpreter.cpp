@@ -2,6 +2,9 @@
 
 #include "exec/Interpreter.h"
 
+#include "support/FailPoint.h"
+#include "support/Status.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -52,7 +55,9 @@ Int flattenAccess(const Kernel &K, const Statement &S, const Access &A,
     Int Index = Row.back();
     for (unsigned I = 0, NI = S.numIters(); I != NI; ++I)
       Index += Row[I] * Iters[I];
-    assert(Index >= 0 && Index < T.Shape[D] && "access out of bounds");
+    if (Index < 0 || Index >= T.Shape[D])
+      raiseError(StatusCode::Internal, "exec.interpret",
+                 "access out of bounds during interpretation");
     Offset += Index * Strides[D];
   }
   return Offset;
@@ -154,6 +159,7 @@ bool pinj::buffersAlmostEqual(const ExecBuffers &A, const ExecBuffers &B,
 
 bool pinj::scheduleIsSemanticallyEqual(const Kernel &K, const Schedule &S,
                                        unsigned Seed) {
+  failpoint::hit("exec.interpret");
   ExecBuffers Reference = makeInputs(K, Seed);
   ExecBuffers Transformed = Reference;
   runOriginal(K, Reference);

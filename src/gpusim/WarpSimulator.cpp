@@ -4,6 +4,7 @@
 
 #include "influence/AccessAnalysis.h"
 #include "obs/Metrics.h"
+#include "support/FailPoint.h"
 #include "obs/Trace.h"
 
 #include <algorithm>
@@ -268,6 +269,7 @@ private:
 
 KernelSim pinj::simulateKernel(const MappedKernel &M, const GpuModel &Model) {
   obs::Span Sp("gpusim.simulate");
+  failpoint::hit("gpusim.simulate");
   KernelSim Sim;
   for (unsigned Stmt = 0, E = M.K->Stmts.size(); Stmt != E; ++Stmt) {
     StmtSimulator StmtSim(M, Model, Stmt);

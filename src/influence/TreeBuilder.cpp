@@ -2,6 +2,8 @@
 
 #include "influence/TreeBuilder.h"
 
+#include "support/FailPoint.h"
+
 using namespace pinj;
 
 unsigned pinj::pickSinkStatement(const Kernel &K) {
@@ -87,6 +89,7 @@ void emitBranch(const Kernel &K, unsigned SinkId, const DimScenario &Scen,
 
 InfluenceTree pinj::buildInfluenceTree(const Kernel &K,
                                        const InfluenceOptions &Options) {
+  failpoint::hit("influence.tree");
   InfluenceTree Tree;
   if (K.Stmts.empty() || K.numParams() != 0)
     return Tree;

@@ -2,8 +2,6 @@
 
 #include "ir/Builder.h"
 
-#include <cstdio>
-
 using namespace pinj;
 
 KernelBuilder::KernelBuilder(std::string Name) {
@@ -46,11 +44,10 @@ IntVector KernelBuilder::resolveIndex(const Statement &S,
         break;
       }
     }
-    if (!Found) {
-      std::fprintf(stderr, "unknown iterator '%s' in statement '%s'\n",
-                   IterName.c_str(), S.Name.c_str());
-      fatalError("index expression references unknown iterator");
-    }
+    if (!Found)
+      raiseError(StatusCode::InvalidInput, "ir.builder",
+                 "unknown iterator '" + IterName + "' in statement '" +
+                     S.Name + "'");
   }
   Row.back() = Index.Constant;
   return Row;
@@ -98,10 +95,8 @@ void KernelBuilder::finalizeCurrent() {
 Kernel KernelBuilder::build() {
   finalizeCurrent();
   std::string Diag = TheKernel.verify();
-  if (!Diag.empty()) {
-    std::fprintf(stderr, "malformed kernel '%s': %s\n",
-                 TheKernel.Name.c_str(), Diag.c_str());
-    fatalError("kernel verification failed");
-  }
+  if (!Diag.empty())
+    raiseError(StatusCode::InvalidInput, "ir.verify",
+               "malformed kernel '" + TheKernel.Name + "': " + Diag);
   return std::move(TheKernel);
 }

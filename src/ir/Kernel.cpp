@@ -59,9 +59,30 @@ const char *pinj::opKindName(OpKind Kind) {
 }
 
 std::string Kernel::verify() const {
+  if (Stmts.empty())
+    return "kernel has no statements";
+  for (const Tensor &T : Tensors) {
+    if (T.Name.empty())
+      return "tensor with empty name";
+    if (T.Shape.empty())
+      return T.Name + ": tensor has no dimensions";
+    for (Int E : T.Shape)
+      if (E <= 0)
+        return T.Name + ": nonpositive tensor extent";
+    if (T.ElemBytes == 0)
+      return T.Name + ": zero element size";
+  }
   for (const Statement &S : Stmts) {
+    if (S.Name.empty())
+      return "statement with empty name";
+    if (S.numIters() == 0)
+      return S.Name + ": statement has no iterators";
     if (S.IterNames.size() != S.Extents.size())
       return S.Name + ": iterator name count differs from extent count";
+    for (unsigned I = 0, E = S.numIters(); I != E; ++I)
+      for (unsigned J = I + 1; J != E; ++J)
+        if (S.IterNames[I] == S.IterNames[J])
+          return S.Name + ": duplicate iterator '" + S.IterNames[I] + "'";
     if (S.OrigBeta.size() != S.numIters() + 1)
       return S.Name + ": beta vector must have numIters()+1 entries";
     if (S.Reads.size() != numOperands(S.Kind))

@@ -37,7 +37,7 @@ std::optional<IndexExpr> parseIndexExpr(const std::string &Text) {
   Int Offset = 0;
   if (Plus != std::string::npos) {
     std::string Tail = Text.substr(Plus + 1);
-    if (Tail.empty() ||
+    if (Tail.empty() || Tail.size() > 18 ||
         Tail.find_first_not_of("0123456789") != std::string::npos)
       return std::nullopt;
     Offset = std::stoll(Tail);
@@ -45,7 +45,8 @@ std::optional<IndexExpr> parseIndexExpr(const std::string &Text) {
   if (Base.empty())
     return std::nullopt;
   if (std::isdigit(static_cast<unsigned char>(Base[0]))) {
-    if (Base.find_first_not_of("0123456789") != std::string::npos ||
+    if (Base.size() > 18 ||
+        Base.find_first_not_of("0123456789") != std::string::npos ||
         Plus != std::string::npos)
       return std::nullopt;
     return IndexExpr(static_cast<Int>(std::stoll(Base)));
@@ -169,7 +170,12 @@ std::optional<Kernel> pinj::parseKernel(const std::string &Text,
         size_t Eq = Token.find('=');
         if (Eq == std::string::npos || Eq == 0)
           return fail(LineNo, "iterator must be name=extent: " + Token);
-        Int Extent = std::stoll(Token.substr(Eq + 1));
+        std::string ExtentText = Token.substr(Eq + 1);
+        if (ExtentText.empty() ||
+            ExtentText.find_first_not_of("0123456789") != std::string::npos ||
+            ExtentText.size() > 18)
+          return fail(LineNo, "malformed iterator extent: " + Token);
+        Int Extent = std::stoll(ExtentText);
         if (Extent <= 0)
           return fail(LineNo, "iterator extents must be positive");
         Iters.emplace_back(Token.substr(0, Eq), Extent);
@@ -204,16 +210,20 @@ std::optional<Kernel> pinj::parseKernel(const std::string &Text,
         auto It = TensorIds.find(TensorName);
         if (It == TensorIds.end())
           return fail(LineNo, "unknown tensor '" + TensorName + "'");
-        if (What == "write") {
-          if (HaveWrite)
-            return fail(LineNo, "statement has two writes");
-          Builder.write(It->second, std::move(Indices));
-          HaveWrite = true;
-        } else if (What == "read") {
-          Builder.read(It->second, std::move(Indices));
-          ++NumReads;
-        } else {
-          return fail(LineNo, "expected 'write' or 'read', got " + What);
+        try {
+          if (What == "write") {
+            if (HaveWrite)
+              return fail(LineNo, "statement has two writes");
+            Builder.write(It->second, std::move(Indices));
+            HaveWrite = true;
+          } else if (What == "read") {
+            Builder.read(It->second, std::move(Indices));
+            ++NumReads;
+          } else {
+            return fail(LineNo, "expected 'write' or 'read', got " + What);
+          }
+        } catch (const RecoverableError &E) {
+          return fail(LineNo, E.status().message());
         }
       }
       if (!HaveWrite)
@@ -231,7 +241,12 @@ std::optional<Kernel> pinj::parseKernel(const std::string &Text,
     Error = "kernel has no statements";
     return std::nullopt;
   }
-  // Builder aborts on malformed kernels; everything fatal was validated
-  // above, so build() is safe here.
-  return Builder.build();
+  // build() runs Kernel::verify() and raises InvalidInput on anything the
+  // line-by-line checks above missed (access arity, tensor shapes, ...).
+  try {
+    return Builder.build();
+  } catch (const RecoverableError &E) {
+    Error = E.status().message();
+    return std::nullopt;
+  }
 }

@@ -2,7 +2,10 @@
 
 #include "lp/Ilp.h"
 
+#include "lp/Budget.h"
 #include "obs/Metrics.h"
+#include "support/FailPoint.h"
+#include "support/Status.h"
 
 #include <optional>
 
@@ -19,6 +22,16 @@ public:
     solveNode(Problem.Lp);
     IlpResult Result;
     Result.NodesExplored = Nodes;
+    if (Exhausted) {
+      // The search stopped early: an incumbent (if any) is feasible but
+      // unproven, and the absence of one proves nothing.
+      Result.Status = IlpResult::BudgetExceeded;
+      if (Incumbent) {
+        Result.Value = IncumbentValue;
+        Result.Point = *Incumbent;
+      }
+      return Result;
+    }
     if (!Incumbent) {
       Result.Status = IlpResult::Infeasible;
       return Result;
@@ -40,14 +53,25 @@ private:
   }
 
   void solveNode(const LpProblem &Node) {
+    if (Exhausted)
+      return;
+    if (!budget::chargeNode()) {
+      Exhausted = true;
+      return;
+    }
     ++Nodes;
     LpResult Relaxed = solveLp(Node);
+    if (Relaxed.Status == LpResult::BudgetExceeded) {
+      Exhausted = true;
+      return;
+    }
     if (Relaxed.Status == LpResult::Infeasible)
       return;
     // An unbounded relaxation cannot be pruned; in this project objectives
     // are sums of nonnegative variables, so this indicates a misuse.
-    assert(Relaxed.Status != LpResult::Unbounded &&
-           "unbounded ILP relaxation");
+    if (Relaxed.Status == LpResult::Unbounded)
+      raiseError(StatusCode::SolverError, "lp.ilp",
+                 "unbounded ILP relaxation");
     if (Incumbent && Relaxed.Value >= IncumbentValue)
       return; // Bound: cannot improve on the incumbent.
 
@@ -85,6 +109,7 @@ private:
   std::optional<std::vector<Rational>> Incumbent;
   Rational IncumbentValue;
   unsigned Nodes = 0;
+  bool Exhausted = false;
 };
 
 } // namespace
@@ -98,6 +123,7 @@ IlpResult pinj::solveIlp(const IlpProblem &Problem) {
   static obs::Histogram &NodesPerSolve =
       obs::metrics().histogram("lp.ilp_nodes_per_solve");
   Solves.inc();
+  failpoint::hit("lp.ilp");
   BranchAndBound Solver(Problem);
   IlpResult Result = Solver.run();
   if (!Result.isOptimal())

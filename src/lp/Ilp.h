@@ -39,9 +39,12 @@ struct IlpProblem {
 };
 
 /// Result of a mixed ILP solve. On success, Point entries for integer
-/// variables are exact integers.
+/// variables are exact integers. BudgetExceeded means the enclosing
+/// SolverBudget ran out mid-search: any Point carried along is a feasible
+/// incumbent but not proven optimal, and the result must not be cached as
+/// a proof of infeasibility.
 struct IlpResult {
-  enum StatusTy { Optimal, Infeasible };
+  enum StatusTy { Optimal, Infeasible, BudgetExceeded };
 
   StatusTy Status = Infeasible;
   Rational Value;

@@ -2,7 +2,9 @@
 
 #include "lp/Simplex.h"
 
+#include "lp/Budget.h"
 #include "obs/Metrics.h"
+#include "support/FailPoint.h"
 
 using namespace pinj;
 
@@ -14,6 +16,9 @@ void LpProblem::addUpperBound(unsigned Var, Int Bound) {
 }
 
 namespace {
+
+/// Outcome of a tableau optimization run.
+enum class MinimizeOutcome { Optimal, Unbounded, Budget };
 
 /// A classic dense simplex tableau over exact rationals.
 ///
@@ -53,11 +58,13 @@ public:
 
   /// Runs the primal simplex: Dantzig's rule (most negative reduced
   /// cost, usually few pivots) with a switch to Bland's rule after a
-  /// long degenerate stretch to guarantee termination. \returns false
-  /// if the problem is unbounded below.
-  bool minimize() {
+  /// long degenerate stretch to guarantee termination. Every pivot is
+  /// charged to the active SolverBudget; an exhausted budget stops the
+  /// run mid-optimization.
+  MinimizeOutcome minimize() {
     unsigned DegenerateStreak = 0;
     const unsigned BlandThreshold = 2 * (Rows + Cols) + 16;
+    const bool Budgeted = budget::active();
     for (;;) {
       bool UseBland = DegenerateStreak > BlandThreshold;
       unsigned Entering = Cols;
@@ -72,7 +79,7 @@ public:
           Entering = C; // Most negative reduced cost.
       }
       if (Entering == Cols)
-        return true; // Optimal.
+        return MinimizeOutcome::Optimal;
 
       // Ratio test; Bland tie-break on the basic variable index.
       unsigned Leaving = Rows;
@@ -88,11 +95,13 @@ public:
         }
       }
       if (Leaving == Rows)
-        return false; // Unbounded.
+        return MinimizeOutcome::Unbounded;
       if (BestRatio.isZero())
         ++DegenerateStreak; // No objective progress: possible cycling.
       else
         DegenerateStreak = 0;
+      if (Budgeted && (!budget::chargePivot() || budget::deadlineExpired()))
+        return MinimizeOutcome::Budget;
       pivot(Leaving, Entering);
     }
   }
@@ -137,6 +146,7 @@ LpResult pinj::solveLp(const LpProblem &Problem) {
   static obs::Counter &SimplexPivots =
       obs::metrics().counter("lp.simplex_pivots");
   SimplexSolves.inc();
+  failpoint::hit("lp.simplex");
 
   unsigned NumStructural = Problem.NumVars;
   unsigned NumRows = Problem.Constraints.size();
@@ -206,9 +216,15 @@ LpResult pinj::solveLp(const LpProblem &Problem) {
     for (unsigned A = 0; A != NumArtificials; ++A)
       T.obj(ArtBase + A) = Rational(1);
     T.priceOutBasis();
-    bool Bounded = T.minimize();
-    assert(Bounded && "phase-1 objective is bounded below by construction");
-    (void)Bounded;
+    MinimizeOutcome Phase1 = T.minimize();
+    // The phase-1 objective is bounded below by construction, so the
+    // only non-optimal outcome is an exhausted budget.
+    if (Phase1 != MinimizeOutcome::Optimal) {
+      SimplexPivots.add(T.pivots());
+      LpResult Result;
+      Result.Status = LpResult::BudgetExceeded;
+      return Result;
+    }
     if (!T.objValue().isZero()) {
       // Nonzero phase-1 optimum (objValue holds -(sum of artificials)).
       SimplexPivots.add(T.pivots());
@@ -260,10 +276,13 @@ LpResult pinj::solveLp(const LpProblem &Problem) {
   // After pricing, basic artificial columns have zero reduced cost and
   // nonbasic ones keep +1, so they never enter.
 
-  if (!T.minimize()) {
+  MinimizeOutcome Phase2 = T.minimize();
+  if (Phase2 != MinimizeOutcome::Optimal) {
     SimplexPivots.add(T.pivots());
     LpResult Result;
-    Result.Status = LpResult::Unbounded;
+    Result.Status = Phase2 == MinimizeOutcome::Unbounded
+                        ? LpResult::Unbounded
+                        : LpResult::BudgetExceeded;
     return Result;
   }
   SimplexPivots.add(T.pivots());

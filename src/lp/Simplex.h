@@ -63,9 +63,12 @@ struct LpProblem {
   void addUpperBound(unsigned Var, Int Bound);
 };
 
-/// Result of an LP solve.
+/// Result of an LP solve. BudgetExceeded means an enclosing SolverBudget
+/// (see lp/Budget.h) ran out of pivots or wall clock before the solve
+/// finished; callers treat it like Infeasible but must not cache it as a
+/// proof of infeasibility.
 struct LpResult {
-  enum StatusTy { Optimal, Infeasible, Unbounded };
+  enum StatusTy { Optimal, Infeasible, Unbounded, BudgetExceeded };
 
   StatusTy Status = Infeasible;
   Rational Value;                 ///< Optimal objective value.

@@ -22,14 +22,16 @@ Int128 gcd128(Int128 A, Int128 B) {
 Int128 mul128(Int128 A, Int128 B) {
   Int128 R;
   if (__builtin_mul_overflow(A, B, &R))
-    fatalError("128-bit overflow in rational arithmetic");
+    raiseError(StatusCode::Overflow, "math.rational",
+               "128-bit overflow in rational multiplication");
   return R;
 }
 
 Int128 add128(Int128 A, Int128 B) {
   Int128 R;
   if (__builtin_add_overflow(A, B, &R))
-    fatalError("128-bit overflow in rational arithmetic");
+    raiseError(StatusCode::Overflow, "math.rational",
+               "128-bit overflow in rational addition");
   return R;
 }
 
@@ -67,13 +69,15 @@ Rational::Rational(Int N, Int D) : Num(N), Den(D) {
 
 Int Rational::numerator() const {
   if (Num > INT64_MAX || Num < INT64_MIN)
-    fatalError("rational numerator exceeds 64 bits");
+    raiseError(StatusCode::Overflow, "math.rational",
+               "rational numerator exceeds 64 bits");
   return static_cast<Int>(Num);
 }
 
 Int Rational::denominator() const {
   if (Den > INT64_MAX)
-    fatalError("rational denominator exceeds 64 bits");
+    raiseError(StatusCode::Overflow, "math.rational",
+               "rational denominator exceeds 64 bits");
   return static_cast<Int>(Den);
 }
 
@@ -82,7 +86,8 @@ Int Rational::floor() const {
   if (Num % Den != 0 && Num < 0)
     --Q;
   if (Q > INT64_MAX || Q < INT64_MIN)
-    fatalError("rational floor exceeds 64 bits");
+    raiseError(StatusCode::Overflow, "math.rational",
+               "rational floor exceeds 64 bits");
   return static_cast<Int>(Q);
 }
 
@@ -91,7 +96,8 @@ Int Rational::ceil() const {
   if (Num % Den != 0 && Num > 0)
     ++Q;
   if (Q > INT64_MAX || Q < INT64_MIN)
-    fatalError("rational ceil exceeds 64 bits");
+    raiseError(StatusCode::Overflow, "math.rational",
+               "rational ceil exceeds 64 bits");
   return static_cast<Int>(Q);
 }
 

@@ -45,6 +45,17 @@ std::string ReportSink::json() const {
       FirstCfg = false;
       appendConfig(Out, C);
     }
+    Out += "],\"degradations\":[";
+    bool FirstDeg = true;
+    for (const DegradationRecord &D : Op.Degradations) {
+      if (!FirstDeg)
+        Out += ',';
+      FirstDeg = false;
+      Out += "{\"config\":\"" + json::escape(D.Config) + '"';
+      Out += ",\"site\":\"" + json::escape(D.Site) + '"';
+      Out += ",\"code\":\"" + json::escape(D.Code) + '"';
+      Out += ",\"detail\":\"" + json::escape(D.Detail) + "\"}";
+    }
     Out += "],\"metrics\":" + Op.Metrics.json();
     Out += '}';
   }

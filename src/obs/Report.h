@@ -34,6 +34,15 @@ struct ConfigRecord {
   MetricsSnapshot Metrics; ///< Delta attributed to this configuration.
 };
 
+/// One recorded degradation: a configuration that failed and what the
+/// pipeline substituted (see pipeline/Pipeline.h for the ladder).
+struct DegradationRecord {
+  std::string Config; ///< "isl", "novec", "infl", "tvm", "validate", ...
+  std::string Site;   ///< Originating site ("lp.simplex", a fail-point).
+  std::string Code;   ///< Stable status code name ("budget_exceeded").
+  std::string Detail; ///< Human-readable explanation.
+};
+
 /// One operator's sidecar entry.
 struct OperatorRecord {
   std::string Name;
@@ -41,6 +50,7 @@ struct OperatorRecord {
   bool VecEligible = false;
   bool Validated = false;
   std::vector<ConfigRecord> Configs;
+  std::vector<DegradationRecord> Degradations;
   MetricsSnapshot Metrics; ///< Whole-operator delta.
 };
 

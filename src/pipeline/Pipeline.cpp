@@ -4,7 +4,9 @@
 
 #include "codegen/Vectorizer.h"
 #include "exec/Interpreter.h"
+#include "lp/Budget.h"
 #include "obs/Trace.h"
+#include "support/Status.h"
 
 #include <cstdio>
 
@@ -75,70 +77,209 @@ OperatorReport pinj::runOperator(const Kernel &K,
     Op.arg("name", K.Name);
   obs::MetricsRegistry &M = obs::metrics();
   static obs::Counter &Operators = M.counter("pipeline.operators");
+  static obs::Counter &Degradations = M.counter("pipeline.degradations");
   Operators.inc();
   obs::MetricsSnapshot Begin = M.snapshot();
 
   OperatorReport Report;
   Report.Name = K.Name;
 
+  // Whole-operator budget: WallMs is the operator deadline; pivot/node
+  // caps apply across every solve of every configuration. Per-run
+  // scheduler budgets (Options.Sched.Budget) nest inside it.
+  budget::BudgetScope OpBudget(Options.Budget);
+
+  auto recordDegradation = [&](const char *Config, const Status &St) {
+    Degradations.inc();
+    DegradationEvent E;
+    E.Config = Config;
+    E.Site = St.site();
+    E.Code = St.code();
+    E.Detail = St.message().empty() ? St.str() : St.message();
+    Report.Degradations.push_back(std::move(E));
+  };
+  // Strips explicit vector marks by hand; the degradation-path
+  // equivalent of finalizeVectorMarks(..., DisableVectorization=true)
+  // when the vectorizer itself is what failed.
+  auto stripVectorMarks = [](Schedule &S) {
+    for (DimInfo &D : S.Dims) {
+      D.VectorStmts.clear();
+      D.VectorWidth = 0;
+    }
+  };
+  // Maps and simulates \p S into \p Out; on failure Out keeps the
+  // schedule but reports zero simulation results. A schedule the
+  // backend cannot generate is skipped the same way (the last-resort
+  // original-order fallback is always executable by the interpreter,
+  // but not always expressible as a single fused launch).
+  auto simulateGuarded = [&](const char *Config, const Schedule &S,
+                             ConfigResult &Out) {
+    Out.Sched = S;
+    if (!backendAccepts(K, S)) {
+      Out.Outcome = Status(StatusCode::Internal, "codegen.map",
+                           "schedule not generatable; simulation skipped");
+      recordDegradation(Config, Out.Outcome);
+      return;
+    }
+    try {
+      MappedKernel Mk = mapToGpu(K, S, Options.Mapping);
+      Out.Sim = simulateKernel(Mk, Options.Gpu);
+      Out.TimeUs = Out.Sim.TimeUs;
+    } catch (const RecoverableError &E) {
+      Out.Sim = KernelSim();
+      Out.TimeUs = 0;
+      Out.Outcome = E.status();
+      recordDegradation(Config, E.status());
+    }
+  };
+  // The operator deadline: once expired, remaining stages are skipped
+  // and the skip is recorded once per stage.
+  auto deadlineExpired = [&](const char *Config) {
+    if (!budget::deadlineExpired())
+      return false;
+    recordDegradation(Config,
+                      Status(StatusCode::BudgetExceeded, "pipeline.deadline",
+                             "operator budget exhausted; stage skipped"));
+    return true;
+  };
+
   // Reference configuration: plain scheduling, SCCs serialized up front
-  // (the isl behaviour observed in the paper's Fig. 2(b)).
+  // (the isl behaviour observed in the paper's Fig. 2(b)). On any
+  // recoverable failure the scheduler already degraded to the original
+  // program order; the report only needs to record why.
   SchedulerResult IslRun;
   {
     obs::Span Cfg("pipeline.config.isl");
     SchedulerOptions IslOptions = Options.Sched;
     IslOptions.SerializeSccs = true;
     IslRun = scheduleKernel(K, IslOptions);
-    finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
-    assert(backendAccepts(K, IslRun.Sched) &&
-           "reference schedule must be generatable");
-    Report.Isl = simulateConfig(K, IslRun.Sched, Options);
+    if (!IslRun.Outcome.ok()) {
+      Report.Isl.Outcome = IslRun.Outcome;
+      recordDegradation("isl", IslRun.Outcome);
+    }
+    try {
+      finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
+    } catch (const RecoverableError &E) {
+      stripVectorMarks(IslRun.Sched);
+      recordDegradation("isl", E.status());
+    }
+    if (!backendAccepts(K, IslRun.Sched)) {
+      // A constructed reference schedule is generatable on every kernel
+      // the operator library produces; reaching this means the
+      // construction itself was degraded. Fall to the original order.
+      recordDegradation(
+          "isl", Status(StatusCode::Internal, "pipeline.isl",
+                        "reference schedule not generatable; using "
+                        "original program order"));
+      IslRun.Sched = originalSchedule(K);
+    }
+    simulateGuarded("isl", IslRun.Sched, Report.Isl);
     Report.Isl.Stats = IslRun.Stats;
   }
   obs::MetricsSnapshot AfterIsl = M.snapshot();
   Report.Isl.Metrics = AfterIsl.since(Begin);
 
-  // Influenced scheduling (shared by novec and infl).
+  // Influenced scheduling (shared by novec and infl). A failed
+  // influenced run degrades to the isl reference schedule.
   SchedulerResult InflRun;
+  Schedule NovecSched;
   {
     obs::Span Cfg("pipeline.config.novec");
-    InflRun = scheduleInfluenced(K, Options);
-    if (!backendAccepts(K, InflRun.Sched)) {
-      // The influenced schedule fused statements the backend cannot
-      // generate together; fall back to the reference schedule.
+    if (deadlineExpired("novec")) {
       InflRun.Sched = IslRun.Sched;
-      InflRun.ReachedLeaf = nullptr;
-    }
-    Report.Influenced = !sameTransforms(InflRun.Sched, IslRun.Sched);
+      Report.Novec.Sched = InflRun.Sched;
+      Report.Novec.Outcome =
+          Status(StatusCode::BudgetExceeded, "pipeline.deadline");
+    } else {
+      try {
+        InflRun = scheduleInfluenced(K, Options);
+        if (!InflRun.Outcome.ok()) {
+          // Influenced scheduling fell back internally; prefer the
+          // reference schedule over the original order it returned.
+          recordDegradation("novec", InflRun.Outcome);
+          Report.Novec.Outcome = InflRun.Outcome;
+          InflRun.Sched = IslRun.Sched;
+          InflRun.ReachedLeaf = nullptr;
+        }
+      } catch (const RecoverableError &E) {
+        // buildInfluenceTree (outside the scheduler's own recovery
+        // boundary) failed; degrade to the reference schedule.
+        recordDegradation("novec", E.status());
+        Report.Novec.Outcome = E.status();
+        InflRun = SchedulerResult();
+        InflRun.Sched = IslRun.Sched;
+      }
+      if (!backendAccepts(K, InflRun.Sched)) {
+        // The influenced schedule fused statements the backend cannot
+        // generate together; fall back to the reference schedule. This
+        // is expected fusion rejection, not a degradation.
+        InflRun.Sched = IslRun.Sched;
+        InflRun.ReachedLeaf = nullptr;
+      }
+      Report.Influenced = !sameTransforms(InflRun.Sched, IslRun.Sched);
 
-    Schedule NovecSched = InflRun.Sched;
-    finalizeVectorMarks(K, NovecSched, /*DisableVectorization=*/true);
-    Report.Novec = simulateConfig(K, NovecSched, Options);
-    Report.Novec.Stats = InflRun.Stats;
+      NovecSched = InflRun.Sched;
+      try {
+        finalizeVectorMarks(K, NovecSched, /*DisableVectorization=*/true);
+      } catch (const RecoverableError &E) {
+        stripVectorMarks(NovecSched);
+        recordDegradation("novec", E.status());
+      }
+      simulateGuarded("novec", NovecSched, Report.Novec);
+      Report.Novec.Stats = InflRun.Stats;
+    }
   }
   obs::MetricsSnapshot AfterNovec = M.snapshot();
   Report.Novec.Metrics = AfterNovec.since(AfterIsl);
 
+  // Vectorized configuration; a failed vectorizer degrades to novec.
   Schedule InflSched = InflRun.Sched;
   {
     obs::Span Cfg("pipeline.config.infl");
-    Report.VecEligible =
-        finalizeVectorMarks(K, InflSched, /*DisableVectorization=*/false) > 0;
-    Report.Infl = simulateConfig(K, InflSched, Options);
-    Report.Infl.Stats = InflRun.Stats;
+    if (deadlineExpired("infl")) {
+      Report.Infl.Sched = InflSched;
+      Report.Infl.Outcome =
+          Status(StatusCode::BudgetExceeded, "pipeline.deadline");
+    } else {
+      try {
+        Report.VecEligible =
+            finalizeVectorMarks(K, InflSched,
+                                /*DisableVectorization=*/false) > 0;
+      } catch (const RecoverableError &E) {
+        recordDegradation("infl", E.status());
+        Report.Infl.Outcome = E.status();
+        InflSched = NovecSched.Dims.empty() ? InflRun.Sched : NovecSched;
+        stripVectorMarks(InflSched);
+        Report.VecEligible = false;
+      }
+      simulateGuarded("infl", InflSched, Report.Infl);
+      Report.Infl.Stats = InflRun.Stats;
+    }
   }
   Report.Infl.Metrics = M.snapshot().since(AfterNovec);
 
   // Manual-schedule proxy.
   {
     obs::Span Cfg("pipeline.config.tvm");
-    Report.Tvm = simulateTvmProxy(K, Options.Gpu, Options.Mapping);
+    if (!deadlineExpired("tvm")) {
+      try {
+        Report.Tvm = simulateTvmProxy(K, Options.Gpu, Options.Mapping);
+      } catch (const RecoverableError &E) {
+        Report.Tvm = TvmProxyResult();
+        recordDegradation("tvm", E.status());
+      }
+    }
   }
 
-  if (Options.Validate) {
+  if (Options.Validate && !deadlineExpired("validate")) {
     obs::Span Val("pipeline.validate");
-    Report.Validated = scheduleIsSemanticallyEqual(K, IslRun.Sched) &&
-                       scheduleIsSemanticallyEqual(K, InflSched);
+    try {
+      Report.Validated = scheduleIsSemanticallyEqual(K, IslRun.Sched) &&
+                         scheduleIsSemanticallyEqual(K, InflSched);
+    } catch (const RecoverableError &E) {
+      Report.Validated = false;
+      recordDegradation("validate", E.status());
+    }
   }
 
   Report.Metrics = M.snapshot().since(Begin);
@@ -168,6 +309,14 @@ obs::OperatorRecord pinj::toSinkRecord(const OperatorReport &R) {
   Record.Influenced = R.Influenced;
   Record.VecEligible = R.VecEligible;
   Record.Validated = R.Validated;
+  for (const DegradationEvent &E : R.Degradations) {
+    obs::DegradationRecord D;
+    D.Config = E.Config;
+    D.Site = E.Site;
+    D.Code = statusCodeName(E.Code);
+    D.Detail = E.Detail;
+    Record.Degradations.push_back(std::move(D));
+  }
   Record.Configs.push_back(toConfigRecord("isl", R.Isl));
   Record.Configs.push_back(toConfigRecord("novec", R.Novec));
   Record.Configs.push_back(toConfigRecord("infl", R.Infl));
@@ -209,5 +358,16 @@ std::string pinj::printStatsTable(const OperatorReport &R) {
   std::snprintf(Buf, sizeof(Buf), "%-6s %10.2f %13s (%u launches)\n", "tvm",
                 R.Tvm.TimeUs, "-", R.Tvm.Launches);
   Out += Buf;
+  if (R.degraded()) {
+    std::snprintf(Buf, sizeof(Buf), "degradations: %zu\n",
+                  R.Degradations.size());
+    Out += Buf;
+    for (const DegradationEvent &E : R.Degradations) {
+      std::snprintf(Buf, sizeof(Buf), "  %-8s %s at %s: %s\n",
+                    E.Config.c_str(), statusCodeName(E.Code),
+                    E.Site.c_str(), E.Detail.c_str());
+      Out += Buf;
+    }
+  }
   return Out;
 }

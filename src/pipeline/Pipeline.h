@@ -36,6 +36,12 @@ struct PipelineOptions {
   /// Execute original vs scheduled order on real buffers and compare
   /// (slow; meant for tests and small shapes).
   bool Validate = false;
+  /// Whole-operator resource limits, installed around everything
+  /// runOperator does (all four configurations plus validation). WallMs
+  /// acts as the operator deadline: once it expires, remaining
+  /// configurations are skipped and recorded as degradations. Nested
+  /// inside it, Sched.Budget still applies per scheduling run.
+  SolverBudget Budget;
   /// When set, runOperator appends one record per operator here (the
   /// JSON metrics sidecar; see obs/Report.h).
   obs::ReportSink *Sink = nullptr;
@@ -47,10 +53,25 @@ struct ConfigResult {
   KernelSim Sim;
   double TimeUs = 0;
   SchedulerStats Stats;
+  /// Why this configuration did not run at full fidelity; ok() when it
+  /// did. Details of what was substituted are in
+  /// OperatorReport::Degradations.
+  Status Outcome;
   /// Pipeline metrics delta attributed to this configuration (isl:
   /// reference scheduling + simulation; novec: influenced scheduling +
   /// simulation; infl: vector finalization + simulation).
   obs::MetricsSnapshot Metrics;
+};
+
+/// One degradation taken by runOperator. The ladder: a failed infl
+/// configuration degrades to the novec schedule, a failed novec to the
+/// isl reference schedule, a failed isl to the original program order —
+/// so every configuration always carries a valid schedule.
+struct DegradationEvent {
+  std::string Config; ///< "isl", "novec", "infl", "tvm", "validate", ...
+  std::string Site;   ///< Originating site ("lp.simplex", a fail-point).
+  StatusCode Code = StatusCode::Internal;
+  std::string Detail; ///< Human-readable explanation.
 };
 
 /// The paper's per-operator measurements.
@@ -69,6 +90,11 @@ struct OperatorReport {
   /// Set when Validate was requested and every schedule matched the
   /// reference execution.
   bool Validated = false;
+  /// Every degradation taken while producing this report, in order.
+  /// Empty on a fully healthy run.
+  std::vector<DegradationEvent> Degradations;
+
+  bool degraded() const { return !Degradations.empty(); }
   /// Whole-operator pipeline metrics delta (covers all configurations,
   /// the tvm proxy and validation).
   obs::MetricsSnapshot Metrics;

@@ -2,6 +2,8 @@
 
 #include "poly/Farkas.h"
 
+#include "support/FailPoint.h"
+
 #include <algorithm>
 
 using namespace pinj;
@@ -116,6 +118,7 @@ private:
 void pinj::addFarkasNonNegative(IlpBuilder &B, const AffineSet &P,
                                 const VarAffineForm &Psi,
                                 const std::string &Tag) {
+  failpoint::hit("poly.farkas");
   unsigned Width = P.space().width();
   assert(Psi.Cols.size() == Width && "form width mismatch with set");
 

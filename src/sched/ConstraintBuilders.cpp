@@ -270,24 +270,29 @@ void pinj::addObjectives(DimIlp &Ilp, const Kernel &K,
 
 void pinj::appendSolution(const DimIlp &Ilp, const IlpResult &R,
                           const Kernel &K, Schedule &Partial) {
-  assert(R.isOptimal() && "appending a failed solve");
+  // A malformed solver result here would silently corrupt the schedule,
+  // so the integrality checks are real runtime checks, not asserts.
+  if (!R.isOptimal())
+    raiseError(StatusCode::SolverError, "sched.solution",
+               "appending a failed solve");
+  auto integerAt = [&](unsigned Var, const char *What) {
+    if (Var >= R.Point.size() || !R.Point[Var].isInteger())
+      raiseError(StatusCode::SolverError, "sched.solution",
+                 std::string("non-integer ") + What +
+                     " in ILP solution");
+    return R.Point[Var].numerator();
+  };
   if (Partial.Transforms.empty())
     Partial.Transforms.resize(K.Stmts.size());
   for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt) {
     const Statement &S = K.Stmts[Stmt];
     const DimIlp::StmtVars &Vars = Ilp.Stmts[Stmt];
     IntVector Row(K.rowWidth(S), 0);
-    for (unsigned I = 0, NI = S.numIters(); I != NI; ++I) {
-      assert(R.Point[Vars.Iter[I]].isInteger() && "non-integer coefficient");
-      Row[I] = R.Point[Vars.Iter[I]].numerator();
-    }
-    for (unsigned P = 0, NP = K.numParams(); P != NP; ++P) {
-      assert(R.Point[Vars.Param[P]].isInteger() &&
-             "non-integer coefficient");
-      Row[S.numIters() + P] = R.Point[Vars.Param[P]].numerator();
-    }
-    assert(R.Point[Vars.Const].isInteger() && "non-integer shift");
-    Row.back() = R.Point[Vars.Const].numerator();
+    for (unsigned I = 0, NI = S.numIters(); I != NI; ++I)
+      Row[I] = integerAt(Vars.Iter[I], "coefficient");
+    for (unsigned P = 0, NP = K.numParams(); P != NP; ++P)
+      Row[S.numIters() + P] = integerAt(Vars.Param[P], "coefficient");
+    Row.back() = integerAt(Vars.Const, "shift");
     if (Partial.Transforms[Stmt].numRows() == 0 &&
         Partial.Transforms[Stmt].numCols() == 0)
       Partial.Transforms[Stmt] = IntMatrix(0, K.rowWidth(S));

@@ -21,6 +21,7 @@
 #ifndef POLYINJECT_SCHED_CONSTRAINTBUILDERS_H
 #define POLYINJECT_SCHED_CONSTRAINTBUILDERS_H
 
+#include "lp/Budget.h"
 #include "lp/Builder.h"
 #include "poly/Dependence.h"
 #include "sched/InfluenceTree.h"
@@ -59,6 +60,11 @@ struct SchedulerOptions {
   bool UseFeautrierFallback = false;
   /// Hard cap on scheduling dimensions (safety net).
   unsigned MaxDims = 16;
+  /// Resource limits installed around the whole construction; every
+  /// simplex pivot and branch-and-bound node is charged against it. An
+  /// exhausted budget surfaces as StatusCode::BudgetExceeded and the
+  /// scheduler falls back to the original program order.
+  SolverBudget Budget;
 };
 
 /// The ILP being assembled for one scheduling dimension: variable ids of

@@ -4,6 +4,8 @@
 
 #include "ir/Printer.h"
 
+#include <algorithm>
+
 using namespace pinj;
 
 IntMatrix Schedule::iteratorPart(const Kernel &K, unsigned Stmt) const {
@@ -81,6 +83,50 @@ void pinj::annotateParallelism(const Kernel &K, Schedule &S) {
           S.stronglySatisfiedAt(K, Deps[I], D))
         Carried[I] = true;
   }
+}
+
+Schedule pinj::originalSchedule(const Kernel &K) {
+  unsigned MaxDepth = 0;
+  for (const Statement &S : K.Stmts)
+    MaxDepth = std::max(MaxDepth, S.numIters());
+
+  // 2d+1 form: (Beta[0], i0, Beta[1], i1, ..., Beta[d]); statements
+  // shallower than MaxDepth pad with zero rows, the standard
+  // lexicographic embedding.
+  Schedule Sched;
+  Sched.Transforms.assign(K.Stmts.size(), IntMatrix());
+  unsigned NumDims = 2 * MaxDepth + 1;
+  for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
+    const Statement &Stmt = K.Stmts[S];
+    IntMatrix T(0, K.rowWidth(Stmt));
+    for (unsigned D = 0; D != NumDims; ++D) {
+      IntVector Row(K.rowWidth(Stmt), 0);
+      unsigned Level = D / 2;
+      if (D % 2 == 0) {
+        if (Level < Stmt.OrigBeta.size())
+          Row.back() = Stmt.OrigBeta[Level];
+      } else if (Level < Stmt.numIters()) {
+        Row[Level] = 1;
+      }
+      T.appendRow(Row);
+    }
+    Sched.Transforms[S] = std::move(T);
+  }
+  for (unsigned D = 0; D != NumDims; ++D) {
+    DimInfo Info;
+    Info.IsScalar = D % 2 == 0;
+    Info.BandStart = D % 2 == 1; // Each loop is its own 1-dim band.
+    Sched.Dims.push_back(Info);
+  }
+  // Parallelism annotation runs dependence analysis, which solves LPs —
+  // the very machinery whose failure may have brought us here. Treat it
+  // as best-effort: without it every dimension stays sequential, which
+  // is slower but always correct.
+  try {
+    annotateParallelism(K, Sched);
+  } catch (const RecoverableError &) {
+  }
+  return Sched;
 }
 
 std::string Schedule::str(const Kernel &K) const {

@@ -92,6 +92,13 @@ struct Schedule {
 /// earlier dimension has a zero schedule difference on it.
 void annotateParallelism(const Kernel &K, Schedule &S);
 
+/// The schedule encoding the original program order (the classic 2d+1
+/// form built from each statement's OrigBeta interleaving vector). It is
+/// valid by construction — dependences are computed from this very
+/// order — so it serves as the last-resort fallback when scheduling
+/// fails in a recoverable way.
+Schedule originalSchedule(const Kernel &K);
+
 } // namespace pinj
 
 #endif // POLYINJECT_SCHED_SCHEDULE_H

@@ -5,6 +5,7 @@
 #include "math/LinearAlgebra.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/FailPoint.h"
 
 #include <algorithm>
 #include <map>
@@ -141,8 +142,19 @@ public:
             .arg("active", Active.size())
             .arg("fullrank", allFullRank())
             .arg("progression", !ProgressionDisabled);
-      if (Partial.Dims.size() >= Options.MaxDims)
-        fatalError("scheduling exceeded the dimension limit");
+      if (Partial.Dims.size() >= Options.MaxDims) {
+        // With an influence tree the limit is usually the tree asking
+        // for unreasonable depth: abandon it and let the plain rerun
+        // try. Without a tree there is nothing left to shed.
+        if (Node || Tree) {
+          fallbackSpan("tree_abandon");
+          Stats.TreeAbandoned = true;
+          recordSchedulerStats(Stats);
+          return false;
+        }
+        raiseError(StatusCode::DimensionLimit, "sched.construction",
+                   "scheduling exceeded the dimension limit");
+      }
       unsigned D = Partial.Dims.size();
       if (Backups.size() <= D)
         Backups.resize(D + 1);
@@ -217,7 +229,8 @@ public:
         recordSchedulerStats(Stats);
         return false;
       }
-      fatalError("scheduling construction is stuck");
+      raiseError(StatusCode::Stuck, "sched.construction",
+                 "no fallback can make progress");
     }
     Result.Sched = Partial;
     Result.Stats = Stats;
@@ -549,21 +562,49 @@ SchedulerResult pinj::scheduleKernel(const Kernel &K,
   obs::Span S("sched.schedule");
   if (S.active())
     S.arg("kernel", K.Name).arg("influenced", Tree != nullptr);
-  {
-    Construction C(K, Options, Tree);
+  // The construction must never escape an exception: whatever goes
+  // wrong (budget exhausted, stuck, overflow, injected fault), the
+  // caller still gets a valid schedule — ultimately the original
+  // program order — plus the Status explaining the downgrade.
+  budget::BudgetScope Budget(Options.Budget);
+  try {
+    failpoint::hit("sched.schedule");
+    {
+      Construction C(K, Options, Tree);
+      SchedulerResult Result;
+      if (C.run(Result))
+        return Result;
+    }
+    // The tree was abandoned: run as a plain polyhedral scheduler, in
+    // the reference (isl-like) configuration, as the paper specifies.
+    // Plain scheduling on a well-formed kernel cannot get stuck (SCC
+    // separation always makes progress), but it can still exhaust the
+    // solver budget or overflow; those raise and are handled below.
+    SchedulerOptions Plain = Options;
+    Plain.SerializeSccs = true;
+    Construction C(K, Plain, nullptr);
     SchedulerResult Result;
-    if (C.run(Result))
-      return Result;
+    if (!C.run(Result))
+      raiseError(StatusCode::Stuck, "sched.plain",
+                 "plain scheduling failed after tree abandon");
+    Result.Stats.TreeAbandoned = true;
+    return Result;
+  } catch (const RecoverableError &E) {
+    obs::metrics().counter("sched.status_errors").inc();
+    SchedulerResult Result;
+    Result.Sched = originalSchedule(K);
+    Result.Outcome = E.status();
+    // A construction starved by its budget surfaces as "stuck" or as a
+    // runaway dimension count (every ILP fails fast once any enclosing
+    // budget trips, so only the non-solving fallbacks make "progress");
+    // report the root cause instead.
+    if (budget::anyTripped() &&
+        (Result.Outcome.code() == StatusCode::Stuck ||
+         Result.Outcome.code() == StatusCode::DimensionLimit))
+      Result.Outcome = Status(StatusCode::BudgetExceeded, "sched.budget",
+                              "solver budget exhausted during scheduling");
+    Result.FellBackToOriginal = true;
+    Result.Stats.TreeAbandoned = Tree != nullptr;
+    return Result;
   }
-  // The tree was abandoned: run as a plain polyhedral scheduler, in the
-  // reference (isl-like) configuration, as the paper specifies.
-  SchedulerOptions Plain = Options;
-  Plain.SerializeSccs = true;
-  Construction C(K, Plain, nullptr);
-  SchedulerResult Result;
-  bool Ok = C.run(Result);
-  assert(Ok && "plain scheduling must not fail");
-  (void)Ok;
-  Result.Stats.TreeAbandoned = true;
-  return Result;
 }

@@ -44,10 +44,18 @@ struct SchedulerStats {
   unsigned IlpNodes = 0;          ///< Total branch-and-bound nodes.
 };
 
-/// The scheduling outcome.
+/// The scheduling outcome. Sched always holds a valid schedule: on any
+/// recoverable failure (solver budget exhausted, dimension limit,
+/// construction stuck, arithmetic overflow, injected fault) the scheduler
+/// falls back to the original program order and records why in Outcome.
 struct SchedulerResult {
   Schedule Sched;
   SchedulerStats Stats;
+  /// Why the construction did not complete normally; ok() on success.
+  Status Outcome;
+  /// True when Sched is the original-program-order fallback rather than
+  /// a constructed schedule.
+  bool FellBackToOriginal = false;
   /// The influence tree leaf whose scenario the schedule realizes, or
   /// null when no tree was given or the tree was abandoned.
   const InfluenceNode *ReachedLeaf = nullptr;

@@ -1,0 +1,76 @@
+//===- support/FailPoint.cpp ----------------------------------------------===//
+
+#include "support/FailPoint.h"
+
+#include "support/Status.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+using namespace pinj;
+
+namespace {
+
+// Keep this catalog in sync with the hit() calls across the pipeline and
+// with the fail-point table in DESIGN.md ("Failure model").
+const char *const Sites[] = {
+    "lp.simplex",       // solveLp entry (every relaxation).
+    "lp.ilp",           // solveIlp entry (every branch-and-bound run).
+    "poly.farkas",      // addFarkasNonNegative (constraint elimination).
+    "sched.schedule",   // scheduleKernel entry (whole construction).
+    "influence.tree",   // buildInfluenceTree entry.
+    "codegen.map",      // mapToGpu entry (block/thread mapping).
+    "codegen.vectorize",// finalizeVectorMarks entry.
+    "gpusim.simulate",  // simulateKernel entry.
+    "exec.interpret",   // scheduleIsSemanticallyEqual entry (validation).
+    "baselines.tvm",    // simulateTvmProxy entry.
+};
+
+struct Registry {
+  std::set<std::string> Active;
+
+  Registry() {
+    if (const char *Env = std::getenv("POLYINJECT_FAILPOINTS")) {
+      std::stringstream In(Env);
+      std::string Name;
+      while (std::getline(In, Name, ','))
+        if (!Name.empty())
+          Active.insert(Name);
+    }
+  }
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+const std::vector<const char *> &pinj::failpoint::allSites() {
+  static const std::vector<const char *> All(std::begin(Sites),
+                                             std::end(Sites));
+  return All;
+}
+
+bool pinj::failpoint::isActive(const char *Name) {
+  const Registry &R = registry();
+  return !R.Active.empty() && R.Active.count(Name) != 0;
+}
+
+void pinj::failpoint::hit(const char *Name) {
+  if (isActive(Name))
+    raiseError(StatusCode::InjectedFault, Name, "fail-point fired");
+}
+
+void pinj::failpoint::activate(const std::string &Name) {
+  registry().Active.insert(Name);
+}
+
+void pinj::failpoint::deactivate(const std::string &Name) {
+  registry().Active.erase(Name);
+}
+
+void pinj::failpoint::clearAll() { registry().Active.clear(); }

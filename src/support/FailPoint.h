@@ -1,0 +1,51 @@
+//===- support/FailPoint.h - Deterministic fault injection -----*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named fail-points instrumented at every stage of the
+/// pipeline (ILP solve, Farkas elimination, scheduling, vectorizer, GPU
+/// mapping, simulator, interpreter, ...). An active fail-point raises a
+/// RecoverableError with code InjectedFault at its site, so tests can
+/// force every degradation path deterministically. Activation is via the
+/// API below or the POLYINJECT_FAILPOINTS environment variable (a
+/// comma-separated list of site names, parsed on first use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_SUPPORT_FAILPOINT_H
+#define POLYINJECT_SUPPORT_FAILPOINT_H
+
+#include <string>
+#include <vector>
+
+namespace pinj {
+namespace failpoint {
+
+/// The catalog of every instrumented site; tests sweep over it.
+const std::vector<const char *> &allSites();
+
+/// True when \p Name is currently active.
+bool isActive(const char *Name);
+
+/// The instrumentation call: raises RecoverableError(InjectedFault,
+/// \p Name) when the fail-point is active, otherwise does nothing.
+/// \p Name must be a member of allSites().
+void hit(const char *Name);
+
+/// Activates \p Name for the current process (test API).
+void activate(const std::string &Name);
+
+/// Deactivates \p Name.
+void deactivate(const std::string &Name);
+
+/// Deactivates every fail-point (including env-activated ones).
+void clearAll();
+
+} // namespace failpoint
+} // namespace pinj
+
+#endif // POLYINJECT_SUPPORT_FAILPOINT_H

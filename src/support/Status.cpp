@@ -1,0 +1,48 @@
+//===- support/Status.cpp -------------------------------------------------===//
+
+#include "support/Status.h"
+
+using namespace pinj;
+
+const char *pinj::statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::Overflow:
+    return "overflow";
+  case StatusCode::BudgetExceeded:
+    return "budget_exceeded";
+  case StatusCode::DimensionLimit:
+    return "dimension_limit";
+  case StatusCode::Stuck:
+    return "stuck";
+  case StatusCode::SolverError:
+    return "solver_error";
+  case StatusCode::InvalidInput:
+    return "invalid_input";
+  case StatusCode::InjectedFault:
+    return "injected_fault";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::str() const {
+  if (ok())
+    return "ok";
+  std::string Out = statusCodeName(Code);
+  if (!TheSite.empty())
+    Out += " at " + TheSite;
+  if (!TheMessage.empty())
+    Out += ": " + TheMessage;
+  return Out;
+}
+
+RecoverableError::RecoverableError(Status S)
+    : S(std::move(S)), What(this->S.str()) {}
+
+void pinj::raiseError(StatusCode Code, const char *Site,
+                      std::string Message) {
+  throw RecoverableError(Status(Code, Site, std::move(Message)));
+}

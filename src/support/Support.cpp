@@ -16,6 +16,10 @@ void pinj::fatalError(const char *Message) {
   std::abort();
 }
 
+void pinj::overflowError(const char *Message) {
+  raiseError(StatusCode::Overflow, "support.checked_arith", Message);
+}
+
 Int pinj::gcdInt(Int A, Int B) {
   if (A < 0)
     A = checkedNeg(A);

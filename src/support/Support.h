@@ -14,6 +14,8 @@
 #ifndef POLYINJECT_SUPPORT_SUPPORT_H
 #define POLYINJECT_SUPPORT_SUPPORT_H
 
+#include "support/Status.h"
+
 #include <cassert>
 #include <cstdint>
 #include <cstdlib>
@@ -24,18 +26,23 @@ namespace pinj {
 
 /// The integer type used throughout the polyhedral layers. Exact rational
 /// arithmetic on top of it keeps numerators/denominators small via gcd
-/// normalization; all operations are overflow-checked in assert builds.
+/// normalization; all operations are overflow-checked in every build.
 using Int = std::int64_t;
 
-/// Aborts with a message; used for overflow and other internal invariant
-/// violations that must be caught even in release builds.
+/// Aborts with a message; reserved for internal invariant violations that
+/// are unreachable from any parseable input. Reachable failures (overflow
+/// included) raise a RecoverableError instead; see support/Status.h.
 [[noreturn]] void fatalError(const char *Message);
+
+/// Raises a recoverable Overflow error; out of line so the checked
+/// helpers inline to a single well-predicted branch.
+[[noreturn]] void overflowError(const char *Message);
 
 /// Overflow-checked addition.
 inline Int checkedAdd(Int A, Int B) {
   Int R;
   if (__builtin_add_overflow(A, B, &R))
-    fatalError("integer overflow in addition");
+    overflowError("integer overflow in addition");
   return R;
 }
 
@@ -43,7 +50,7 @@ inline Int checkedAdd(Int A, Int B) {
 inline Int checkedSub(Int A, Int B) {
   Int R;
   if (__builtin_sub_overflow(A, B, &R))
-    fatalError("integer overflow in subtraction");
+    overflowError("integer overflow in subtraction");
   return R;
 }
 
@@ -51,14 +58,14 @@ inline Int checkedSub(Int A, Int B) {
 inline Int checkedMul(Int A, Int B) {
   Int R;
   if (__builtin_mul_overflow(A, B, &R))
-    fatalError("integer overflow in multiplication");
+    overflowError("integer overflow in multiplication");
   return R;
 }
 
 /// Negation that rejects the non-negatable minimum value.
 inline Int checkedNeg(Int A) {
   if (A == INT64_MIN)
-    fatalError("integer overflow in negation");
+    overflowError("integer overflow in negation");
   return -A;
 }
 

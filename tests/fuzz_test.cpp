@@ -15,6 +15,7 @@
 #include "ir/Builder.h"
 #include "pipeline/Pipeline.h"
 #include "sched/Scheduler.h"
+#include "support/FailPoint.h"
 
 #include <gtest/gtest.h>
 
@@ -201,3 +202,41 @@ TEST_P(KernelFuzz, FeautrierModeValidAndSemanticsPreserved) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzz, ::testing::Range(1, 41));
+
+/// Budget-stress mode: random kernels under solver budgets far too small
+/// for any real scheduling run, with a fail-point (cycled by seed) armed
+/// on top. The pipeline must still return a report whose schedules
+/// respect every dependence — the degradation ladder, not an error path,
+/// is the contract under starvation.
+class BudgetStress : public ::testing::TestWithParam<int> {
+protected:
+  void TearDown() override { failpoint::clearAll(); }
+};
+
+TEST_P(BudgetStress, PipelineAlwaysReturnsValidReport) {
+  unsigned Seed = static_cast<unsigned>(GetParam());
+  Kernel K = makeRandomKernel(Seed);
+
+  PipelineOptions Options;
+  Options.Validate = true;
+  // No wall-clock limit: pivot/node caps keep the test deterministic.
+  Options.Budget.MaxPivots = 10 + Seed % 60;
+  Options.Budget.MaxIlpNodes = 1 + Seed % 6;
+
+  const std::vector<const char *> &Sites = failpoint::allSites();
+  const char *Site = Sites[Seed % Sites.size()];
+  failpoint::activate(Site);
+  OperatorReport R = runOperator(K, Options);
+  failpoint::clearAll();
+
+  EXPECT_TRUE(isValidSchedule(K, R.Isl.Sched)) << K.Name << " " << Site;
+  EXPECT_TRUE(isValidSchedule(K, R.Novec.Sched)) << K.Name << " " << Site;
+  EXPECT_TRUE(isValidSchedule(K, R.Infl.Sched)) << K.Name << " " << Site;
+  EXPECT_TRUE(scheduleIsSemanticallyEqual(K, R.Infl.Sched))
+      << K.Name << " " << Site;
+  // Anything that ran below full fidelity must be on the record.
+  if (!R.Isl.Outcome.ok() || !R.Novec.Outcome.ok() || !R.Infl.Outcome.ok())
+    EXPECT_TRUE(R.degraded()) << K.Name << " " << Site;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetStress, ::testing::Range(1, 31));

@@ -121,6 +121,90 @@ TEST(Parser, RejectsBadOpName) {
   EXPECT_NE(E.find("unknown op"), std::string::npos);
 }
 
+TEST(Parser, RejectsUnknownIterator) {
+  std::string E = parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                             "stmt S iter i=4 op relu write B[z] "
+                             "read A[i]\n");
+  EXPECT_NE(E.find("unknown iterator"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedExtent) {
+  std::string E = parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                             "stmt S iter i=abc op relu write B[i] "
+                             "read A[i]\n");
+  EXPECT_NE(E.find("malformed iterator extent"), std::string::npos);
+}
+
+TEST(Parser, RejectsOverlongLiterals) {
+  EXPECT_FALSE(parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                          "stmt S iter i=99999999999999999999999999 "
+                          "op relu write B[i] read A[i]\n")
+                   .empty());
+  EXPECT_FALSE(parseError("kernel k\ntensor A 4\ntensor B 4\n"
+                          "stmt S iter i=4 op relu write B[i] "
+                          "read A[i+99999999999999999999999999]\n")
+                   .empty());
+}
+
+TEST(Parser, RejectsAccessArityAgainstRank) {
+  std::string E = parseError("kernel k\ntensor A 8 8\ntensor B 8\n"
+                             "stmt S iter i=8 op relu write B[i] "
+                             "read A[i]\n");
+  EXPECT_NE(E.find("arity"), std::string::npos);
+}
+
+// A corpus of malformed inputs that once crashed (aborted or threw out of
+// main) or exercise verifier paths the line-by-line parser cannot see.
+// Every entry must produce a diagnostic, never a crash.
+TEST(Parser, MalformedCorpusNeverCrashes) {
+  const char *Corpus[] = {
+      "",
+      "\n\n\n",
+      "kernel\n",
+      "kernel k\nkernel k2\n",
+      "tensor A 0\n",
+      "tensor A -3\n",
+      "tensor A\n",
+      "tensor A 4\ntensor A 4\n",
+      "stmt S\n",
+      "stmt S iter\n",
+      "stmt S iter i=0 op assign\n",
+      "stmt S iter =4 op assign\n",
+      "stmt S iter i=4 op\n",
+      "kernel k\ntensor A 4\nstmt S iter i=4 op relu write A[j] read A[i]\n",
+      "kernel k\ntensor A 4\nstmt S iter i=4 i=4 op relu write A[i] "
+      "read A[i]\n",
+      "kernel k\ntensor A 4 4\nstmt S iter i=4 op relu write A[i] "
+      "read A[i][i]\n",
+      "kernel k\ntensor A 4\nstmt S iter i=18446744073709551616 op relu "
+      "write A[i] read A[i]\n",
+      "kernel k\ntensor A 4\nstmt S iter i=4 op relu write A[i] read\n",
+      "kernel k\ntensor A 4\nstmt S iter i=4 op relu write read A[i]\n",
+      "kernel k\ntensor A 4\nstmt S iter i=4 op relu scribble A[i]\n",
+  };
+  for (const char *Text : Corpus) {
+    std::string Error;
+    std::optional<Kernel> K = parseKernel(Text, Error);
+    EXPECT_FALSE(K.has_value()) << "accepted: " << Text;
+    EXPECT_FALSE(Error.empty()) << "no diagnostic for: " << Text;
+  }
+}
+
+TEST(Parser, VerifyRejectsDegenerateKernels) {
+  Kernel Empty;
+  Empty.Name = "empty";
+  EXPECT_NE(Empty.verify().find("no statements"), std::string::npos);
+
+  Kernel BadTensor;
+  BadTensor.Name = "bad";
+  Tensor T;
+  T.Name = "A";
+  EXPECT_EQ(BadTensor.verify(), "kernel has no statements");
+  BadTensor.Stmts.emplace_back();
+  BadTensor.Tensors.push_back(T);
+  EXPECT_NE(BadTensor.verify().find("no dimensions"), std::string::npos);
+}
+
 TEST(Parser, OpKindMnemonicsRoundTrip) {
   for (OpKind Kind :
        {OpKind::Assign, OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div,

@@ -10,6 +10,9 @@
 //                                               schedule,sim)
 //     --validate                        execute and compare semantics
 //     --feautrier                       enable the Feautrier fallback
+//     --max-pivots=N                    cap simplex pivots per operator
+//     --max-nodes=N                     cap branch-and-bound nodes
+//     --deadline-ms=X                   whole-operator wall-clock budget
 //     --trace-json=FILE                 write a Chrome trace-event file
 //                                       (open in chrome://tracing)
 //     --metrics-json=FILE               write the per-operator metrics
@@ -30,10 +33,13 @@
 #include "obs/Metrics.h"
 #include "obs/Report.h"
 #include "obs/Trace.h"
+#include "lp/Budget.h"
 #include "pipeline/Pipeline.h"
 #include "poly/Dependence.h"
+#include "support/Status.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <set>
@@ -48,7 +54,8 @@ void printUsage(const char *Argv0) {
       stderr,
       "usage: %s [--config=isl|tvm|novec|infl|all] "
       "[--print=schedule,cuda,ast,tree,deps,sim] [--validate] "
-      "[--feautrier] [--trace-json=FILE] [--metrics-json=FILE] [--stats] "
+      "[--feautrier] [--max-pivots=N] [--max-nodes=N] [--deadline-ms=X] "
+      "[--trace-json=FILE] [--metrics-json=FILE] [--stats] "
       "kernel.pinj\n",
       Argv0);
 }
@@ -68,12 +75,19 @@ void printConfig(const Kernel &K, const char *Name, const ConfigResult &R,
   std::printf("==== %s ====\n", Name);
   if (Artifacts.count("schedule"))
     std::printf("%s", R.Sched.str(K).c_str());
-  if (Artifacts.count("ast")) {
-    MappedKernel M = mapToGpu(K, R.Sched, Options.Mapping);
-    std::printf("%s", printAst(M).c_str());
+  // Codegen artifacts can fail on a degraded schedule (the original
+  // program order is not always expressible as one fused launch); note
+  // it instead of dying.
+  try {
+    if (Artifacts.count("ast")) {
+      MappedKernel M = mapToGpu(K, R.Sched, Options.Mapping);
+      std::printf("%s", printAst(M).c_str());
+    }
+    if (Artifacts.count("cuda"))
+      std::printf("%s", renderCuda(K, R.Sched, Options.Mapping).c_str());
+  } catch (const RecoverableError &E) {
+    std::printf("<no generated code: %s>\n", E.status().str().c_str());
   }
-  if (Artifacts.count("cuda"))
-    std::printf("%s", renderCuda(K, R.Sched, Options.Mapping).c_str());
   if (Artifacts.count("sim"))
     std::printf("time %.3f us | transactions %.0f | bytes moved %.0f "
                 "(useful %.0f, efficiency %.0f%%)\n",
@@ -90,6 +104,7 @@ int main(int Argc, char **Argv) {
   bool Validate = false;
   bool Feautrier = false;
   bool Stats = false;
+  SolverBudget Budget;
   std::string TraceJsonPath;
   std::string MetricsJsonPath;
   const char *Path = nullptr;
@@ -106,6 +121,12 @@ int main(int Argc, char **Argv) {
       Feautrier = true;
     } else if (std::strcmp(Arg, "--stats") == 0) {
       Stats = true;
+    } else if (std::strncmp(Arg, "--max-pivots=", 13) == 0) {
+      Budget.MaxPivots = std::strtoull(Arg + 13, nullptr, 10);
+    } else if (std::strncmp(Arg, "--max-nodes=", 12) == 0) {
+      Budget.MaxIlpNodes = std::strtoull(Arg + 12, nullptr, 10);
+    } else if (std::strncmp(Arg, "--deadline-ms=", 14) == 0) {
+      Budget.WallMs = std::strtod(Arg + 14, nullptr);
     } else if (std::strncmp(Arg, "--trace-json=", 13) == 0) {
       TraceJsonPath = Arg + 13;
       if (TraceJsonPath.empty()) {
@@ -145,24 +166,40 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s: %s\n", Path, Error.c_str());
     return 1;
   }
+  std::string Diag = K->verify();
+  if (!Diag.empty()) {
+    std::fprintf(stderr, "%s: malformed kernel: %s\n", Path, Diag.c_str());
+    return 1;
+  }
 
   std::printf("kernel '%s'\n\n%s\n", K->Name.c_str(),
               printKernel(*K).c_str());
   if (Artifacts.count("deps")) {
     std::printf("==== dependences ====\n");
-    for (const DependenceRelation &D : computeDependences(*K))
-      std::printf("%s\n", printDependence(*K, D).c_str());
+    try {
+      for (const DependenceRelation &D : computeDependences(*K))
+        std::printf("%s\n", printDependence(*K, D).c_str());
+    } catch (const RecoverableError &E) {
+      std::printf("<unavailable: %s>\n", E.status().str().c_str());
+    }
     std::printf("\n");
   }
   if (Artifacts.count("tree")) {
-    InfluenceTree Tree = buildInfluenceTree(*K, InfluenceOptions());
-    std::printf("==== influence constraint tree ====\n%s\n",
-                Tree.str(*K).c_str());
+    try {
+      InfluenceTree Tree = buildInfluenceTree(*K, InfluenceOptions());
+      std::printf("==== influence constraint tree ====\n%s\n",
+                  Tree.str(*K).c_str());
+    } catch (const RecoverableError &E) {
+      std::printf("==== influence constraint tree ====\n<unavailable: "
+                  "%s>\n\n",
+                  E.status().str().c_str());
+    }
   }
 
   PipelineOptions Options;
   Options.Validate = Validate;
   Options.Sched.UseFeautrierFallback = Feautrier;
+  Options.Budget = Budget;
   obs::ReportSink Sink;
   if (!MetricsJsonPath.empty() || Stats)
     Options.Sink = &Sink;
@@ -183,9 +220,16 @@ int main(int Argc, char **Argv) {
   std::printf("summary: influenced=%s vectorizable=%s speedup(infl/isl)="
               "%.2fx%s\n",
               R.Influenced ? "yes" : "no", R.VecEligible ? "yes" : "no",
-              R.Isl.TimeUs / R.Infl.TimeUs,
+              R.Infl.TimeUs > 0 ? R.Isl.TimeUs / R.Infl.TimeUs : 0.0,
               Validate ? (R.Validated ? " validated=yes" : " validated=NO")
                        : "");
+  if (R.degraded()) {
+    std::printf("degradations (%zu):\n", R.Degradations.size());
+    for (const DegradationEvent &E : R.Degradations)
+      std::printf("  %-8s %s at %s: %s\n", E.Config.c_str(),
+                  statusCodeName(E.Code), E.Site.c_str(),
+                  E.Detail.c_str());
+  }
 
   if (Stats) {
     std::printf("\n==== per-config stats ====\n%s",
