@@ -2,6 +2,8 @@
 
 #include "ir/Printer.h"
 
+#include <cctype>
+
 using namespace pinj;
 
 std::string pinj::printAffineRow(const IntVector &Row,
@@ -42,6 +44,118 @@ std::string pinj::printAccess(const Kernel &K, const Statement &S,
   std::string Out = K.Tensors[A.TensorId].Name;
   for (const IntVector &Index : A.Indices)
     Out += "[" + printAffineRow(Index, S.IterNames, K.ParamNames) + "]";
+  return Out;
+}
+
+namespace {
+
+/// Renders one access index row in `.pinj` index syntax ("i", "3",
+/// "i+2"); nullopt when the row is not of that restricted form.
+std::optional<std::string> printPinjIndex(const IntVector &Row,
+                                          const Statement &S) {
+  unsigned IterIdx = 0;
+  unsigned NumIterTerms = 0;
+  for (unsigned I = 0, E = S.numIters(); I != E; ++I) {
+    if (Row[I] == 0)
+      continue;
+    if (Row[I] != 1)
+      return std::nullopt; // Grammar has no coefficients.
+    IterIdx = I;
+    ++NumIterTerms;
+  }
+  Int Const = Row.back();
+  if (NumIterTerms > 1 || Const < 0)
+    return std::nullopt;
+  if (NumIterTerms == 0)
+    return std::to_string(Const);
+  std::string Out = S.IterNames[IterIdx];
+  if (Const != 0)
+    Out += "+" + std::to_string(Const);
+  return Out;
+}
+
+/// A `.pinj` token: no whitespace/comment/delimiter characters, and for
+/// iterator names no '=' either (the grammar splits on it).
+bool validPinjName(const std::string &Name, bool IsIter) {
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (std::isspace(static_cast<unsigned char>(C)) || C == '#' ||
+        C == '[' || C == ']' || C == '\\' || (IsIter && C == '='))
+      return false;
+  return true;
+}
+
+std::optional<std::string> printPinjAccess(const Kernel &K,
+                                           const Statement &S,
+                                           const Access &A) {
+  std::string Out = K.Tensors[A.TensorId].Name;
+  for (const IntVector &Row : A.Indices) {
+    std::optional<std::string> Index = printPinjIndex(Row, S);
+    if (!Index)
+      return std::nullopt;
+    Out += "[" + *Index + "]";
+  }
+  return Out;
+}
+
+} // namespace
+
+std::optional<std::string> pinj::printPinj(const Kernel &K,
+                                           std::string &Error) {
+  auto fail = [&Error](const std::string &Message) {
+    Error = Message;
+    return std::nullopt;
+  };
+  if (K.numParams())
+    return fail("the .pinj grammar has no symbolic parameters");
+  if (!validPinjName(K.Name, /*IsIter=*/false))
+    return fail("kernel name is not a .pinj token: '" + K.Name + "'");
+
+  std::string Out = "kernel " + K.Name + "\n";
+  for (const Tensor &T : K.Tensors) {
+    if (T.ElemBytes != 4)
+      return fail("tensor '" + T.Name + "' is not float32");
+    if (!validPinjName(T.Name, /*IsIter=*/false))
+      return fail("tensor name is not a .pinj token: '" + T.Name + "'");
+    Out += "tensor " + T.Name;
+    for (Int E : T.Shape)
+      Out += " " + std::to_string(E);
+    Out += "\n";
+  }
+  for (unsigned I = 0, E = K.Stmts.size(); I != E; ++I) {
+    const Statement &S = K.Stmts[I];
+    // The parser rebuilds betas with the builder convention (statement
+    // index prefix, own loop nest); anything else would not round-trip.
+    std::vector<Int> BuilderBeta(S.numIters() + 1, 0);
+    BuilderBeta[0] = static_cast<Int>(I);
+    if (S.OrigBeta != BuilderBeta)
+      return fail("statement '" + S.Name + "' has a non-builder beta");
+    if (!validPinjName(S.Name, /*IsIter=*/false))
+      return fail("statement name is not a .pinj token: '" + S.Name + "'");
+    Out += "stmt " + S.Name + " iter";
+    for (unsigned D = 0, N = S.numIters(); D != N; ++D) {
+      if (!validPinjName(S.IterNames[D], /*IsIter=*/true))
+        return fail("iterator name is not a .pinj token: '" +
+                    S.IterNames[D] + "'");
+      Out += " " + S.IterNames[D] + "=" + std::to_string(S.Extents[D]);
+    }
+    Out += " op ";
+    Out += opKindName(S.Kind);
+    std::optional<std::string> W = printPinjAccess(K, S, S.Write);
+    if (!W)
+      return fail("write of '" + S.Name +
+                  "' uses an index the .pinj grammar cannot express");
+    Out += " write " + *W;
+    for (const Access &R : S.Reads) {
+      std::optional<std::string> A = printPinjAccess(K, S, R);
+      if (!A)
+        return fail("read of '" + S.Name +
+                    "' uses an index the .pinj grammar cannot express");
+      Out += " read " + *A;
+    }
+    Out += "\n";
+  }
   return Out;
 }
 

@@ -16,6 +16,7 @@
 
 #include "ir/Kernel.h"
 
+#include <optional>
 #include <string>
 
 namespace pinj {
@@ -30,6 +31,14 @@ std::string printAccess(const Kernel &K, const Statement &S, const Access &A);
 
 /// Renders the whole kernel as nested pseudo-code loops.
 std::string printKernel(const Kernel &K);
+
+/// Renders \p K in the `.pinj` text format ir/Parser.cpp accepts, so
+/// `parseKernel(printPinj(K))` reproduces the kernel structurally (same
+/// fingerprint; see service/Fingerprint.h). \returns nullopt and sets
+/// \p Error when the kernel uses features the grammar cannot express:
+/// symbolic parameters, non-float32 tensors, index expressions other
+/// than `i`, `c` or `i+c` with c >= 0, or non-builder beta vectors.
+std::optional<std::string> printPinj(const Kernel &K, std::string &Error);
 
 } // namespace pinj
 

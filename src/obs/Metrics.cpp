@@ -12,6 +12,7 @@ using namespace pinj;
 using namespace pinj::obs;
 
 void Histogram::observe(double Sample) {
+  std::lock_guard<std::mutex> L(Mu);
   if (N == 0) {
     Min = Max = Sample;
   } else {
@@ -31,7 +32,13 @@ void Histogram::observe(double Sample) {
   ++Buckets[Bucket];
 }
 
+HistogramSummary Histogram::summary() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return {N, Sum, N ? Min : 0, N ? Max : 0};
+}
+
 void Histogram::reset() {
+  std::lock_guard<std::mutex> L(Mu);
   N = 0;
   Sum = Min = Max = 0;
   for (std::uint64_t &B : Buckets)
@@ -129,23 +136,27 @@ MetricsRegistry &MetricsRegistry::get() {
 }
 
 Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
   return Counters[Name];
 }
 
 Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
   return Histograms[Name];
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
   MetricsSnapshot S;
   for (const auto &[Name, C] : Counters)
     S.Counters[Name] = C.value();
   for (const auto &[Name, H] : Histograms)
-    S.Histograms[Name] = {H.count(), H.sum(), H.min(), H.max()};
+    S.Histograms[Name] = H.summary();
   return S;
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> L(Mu);
   for (auto &[Name, C] : Counters)
     C.reset();
   for (auto &[Name, H] : Histograms)

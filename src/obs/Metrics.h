@@ -9,59 +9,45 @@
 /// Named counters and histograms for the scheduling pipeline: ILP
 /// solves/failures/nodes, simplex pivots, dependences computed,
 /// scenarios enumerated, warps simulated, memory transactions, and
-/// whatever future phases need. Counters are always on — one 64-bit add
-/// through a cached reference — so per-operator deltas can be taken by
-/// diffing snapshots (`MetricsSnapshot::since`). `reset()` zeroes values
-/// in place, keeping references obtained from `counter()`/`histogram()`
-/// valid, so hot call sites may cache them in function-local statics.
+/// whatever future phases need. Counters are always on — one relaxed
+/// 64-bit atomic add through a cached reference — so per-operator deltas
+/// can be taken by diffing snapshots (`MetricsSnapshot::since`).
+/// `reset()` zeroes values in place, keeping references obtained from
+/// `counter()`/`histogram()` valid, so hot call sites may cache them in
+/// function-local statics.
+///
+/// The registry is thread-safe: the batch compiler (service/) runs
+/// pipeline workers concurrently, so counter increments are atomic,
+/// histograms take a per-histogram mutex, and the name maps are guarded
+/// by a registry mutex. Map nodes are stable, so cached references stay
+/// valid for the process lifetime.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef POLYINJECT_OBS_METRICS_H
 #define POLYINJECT_OBS_METRICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace pinj {
 namespace obs {
 
-/// A monotonically increasing 64-bit counter.
+/// A monotonically increasing 64-bit counter. Increments are relaxed
+/// atomics: concurrent workers never lose counts, but cross-counter
+/// consistency is only what snapshot() observes.
 class Counter {
 public:
-  void inc() { ++Val; }
-  void add(std::uint64_t N) { Val += N; }
-  std::uint64_t value() const { return Val; }
-  void reset() { Val = 0; }
+  void inc() { Val.fetch_add(1, std::memory_order_relaxed); }
+  void add(std::uint64_t N) { Val.fetch_add(N, std::memory_order_relaxed); }
+  std::uint64_t value() const { return Val.load(std::memory_order_relaxed); }
+  void reset() { Val.store(0, std::memory_order_relaxed); }
 
 private:
-  std::uint64_t Val = 0;
-};
-
-/// Count/sum/min/max plus power-of-two buckets over nonnegative samples.
-class Histogram {
-public:
-  static constexpr unsigned NumBuckets = 64;
-
-  void observe(double Sample);
-
-  std::uint64_t count() const { return N; }
-  double sum() const { return Sum; }
-  double min() const { return N ? Min : 0; }
-  double max() const { return N ? Max : 0; }
-  double mean() const { return N ? Sum / static_cast<double>(N) : 0; }
-  /// Samples in bucket \p I; bucket I holds samples < 2^I not placed in
-  /// an earlier bucket (bucket 0: samples < 1).
-  std::uint64_t bucket(unsigned I) const { return Buckets[I]; }
-  void reset();
-
-private:
-  std::uint64_t N = 0;
-  double Sum = 0;
-  double Min = 0;
-  double Max = 0;
-  std::uint64_t Buckets[NumBuckets] = {};
+  std::atomic<std::uint64_t> Val{0};
 };
 
 /// The diffable summary of one histogram.
@@ -70,6 +56,42 @@ struct HistogramSummary {
   double Sum = 0;
   double Min = 0;
   double Max = 0;
+};
+
+/// Count/sum/min/max plus power-of-two buckets over nonnegative samples.
+/// Guarded by a per-histogram mutex (observations are rare compared to
+/// counter increments).
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void observe(double Sample);
+
+  std::uint64_t count() const { std::lock_guard<std::mutex> L(Mu); return N; }
+  double sum() const { std::lock_guard<std::mutex> L(Mu); return Sum; }
+  double min() const { std::lock_guard<std::mutex> L(Mu); return N ? Min : 0; }
+  double max() const { std::lock_guard<std::mutex> L(Mu); return N ? Max : 0; }
+  double mean() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return N ? Sum / static_cast<double>(N) : 0;
+  }
+  /// Samples in bucket \p I; bucket I holds samples < 2^I not placed in
+  /// an earlier bucket (bucket 0: samples < 1).
+  std::uint64_t bucket(unsigned I) const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Buckets[I];
+  }
+  /// One consistent view of count/sum/min/max.
+  HistogramSummary summary() const;
+  void reset();
+
+private:
+  mutable std::mutex Mu;
+  std::uint64_t N = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+  std::uint64_t Buckets[NumBuckets] = {};
 };
 
 /// A point-in-time copy of every metric value; cheap to diff.
@@ -96,7 +118,9 @@ struct MetricsSnapshot {
   bool empty() const { return Counters.empty() && Histograms.empty(); }
 };
 
-/// The process-wide registry.
+/// The process-wide registry. Thread-safe: lookups/snapshot/reset take
+/// the registry mutex; increments through returned references are
+/// lock-free (counters) or per-histogram locked.
 class MetricsRegistry {
 public:
   static MetricsRegistry &get();
@@ -112,6 +136,7 @@ public:
   void reset();
 
 private:
+  mutable std::mutex Mu;
   std::map<std::string, Counter> Counters;
   std::map<std::string, Histogram> Histograms;
 };

@@ -37,6 +37,8 @@ std::string ReportSink::json() const {
     Out += Op.VecEligible ? "true" : "false";
     Out += ",\"validated\":";
     Out += Op.Validated ? "true" : "false";
+    Out += ",\"cache_hit\":";
+    Out += Op.CacheHit ? "true" : "false";
     Out += ",\"configs\":[";
     bool FirstCfg = true;
     for (const ConfigRecord &C : Op.Configs) {

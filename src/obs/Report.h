@@ -49,6 +49,9 @@ struct OperatorRecord {
   bool Influenced = false;
   bool VecEligible = false;
   bool Validated = false;
+  /// Scheduling was skipped because the compilation cache held this
+  /// operator (service/Cache.h).
+  bool CacheHit = false;
   std::vector<ConfigRecord> Configs;
   std::vector<DegradationRecord> Degradations;
   MetricsSnapshot Metrics; ///< Whole-operator delta.

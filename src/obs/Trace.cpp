@@ -4,7 +4,6 @@
 
 #include "obs/Json.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,35 +24,64 @@ double Tracer::nowUs() const {
       .count();
 }
 
+namespace {
+
+/// Per-thread span state: a small stable thread id (Chrome trace "tid")
+/// and the current nesting depth on this thread.
+struct ThreadTraceState {
+  unsigned Tid;
+  unsigned Depth = 0;
+
+  ThreadTraceState() {
+    static std::atomic<unsigned> NextTid{1};
+    Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+ThreadTraceState &threadState() {
+  thread_local ThreadTraceState S;
+  return S;
+}
+
+} // namespace
+
 void Tracer::enable(unsigned ModeMask) {
-  Modes |= ModeMask;
-  EnabledFlag = Modes != 0;
+  Modes.fetch_or(ModeMask, std::memory_order_relaxed);
+  EnabledFlag.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::disable() {
-  Modes = 0;
-  EnabledFlag = false;
+  Modes.store(0, std::memory_order_relaxed);
+  EnabledFlag.store(false, std::memory_order_relaxed);
 }
 
 void Tracer::reset() {
+  std::lock_guard<std::mutex> L(Mu);
   Events.clear();
-  OpenStack.clear();
+  OpenCount = 0;
   Epoch = std::chrono::steady_clock::now();
 }
 
 unsigned Tracer::openSpan(const char *Name, const char *Category) {
+  ThreadTraceState &T = threadState();
   TraceEvent E;
   E.Name = Name;
   E.Category = Category;
-  E.Depth = static_cast<unsigned>(OpenStack.size());
+  E.Depth = T.Depth++;
+  E.Tid = T.Tid;
+  std::lock_guard<std::mutex> L(Mu);
   E.BeginUs = nowUs();
   unsigned Index = static_cast<unsigned>(Events.size());
   Events.push_back(std::move(E));
-  OpenStack.push_back(Index);
+  ++OpenCount;
   return Index;
 }
 
 void Tracer::closeSpan(unsigned Index) {
+  ThreadTraceState &T = threadState();
+  if (T.Depth > 0)
+    --T.Depth;
+  std::lock_guard<std::mutex> L(Mu);
   // Guard against reset()/disable() between open and close.
   if (Index >= Events.size())
     return;
@@ -62,21 +90,21 @@ void Tracer::closeSpan(unsigned Index) {
     return;
   E.DurUs = nowUs() - E.BeginUs;
   E.Closed = true;
-  assert(!OpenStack.empty() && OpenStack.back() == Index &&
-         "spans must close in LIFO order");
-  if (!OpenStack.empty() && OpenStack.back() == Index)
-    OpenStack.pop_back();
+  if (OpenCount > 0)
+    --OpenCount;
   if (humanEnabled())
     printHuman(E);
   // Without JSON buffering there is no reader of closed events: drop
-  // them so a long human-mode run does not grow without bound.
-  if (!jsonEnabled() && OpenStack.empty()) {
+  // them once nothing is open anywhere so a long human-mode run does
+  // not grow without bound.
+  if (!jsonEnabled() && OpenCount == 0)
     Events.clear();
-  }
 }
 
-TraceEvent *Tracer::eventFor(unsigned Index) {
-  return Index < Events.size() ? &Events[Index] : nullptr;
+void Tracer::addSpanArg(unsigned Index, TraceArg Arg) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Index < Events.size() && !Events[Index].Closed)
+    Events[Index].Args.push_back(std::move(Arg));
 }
 
 void Tracer::printHuman(const TraceEvent &E) const {
@@ -92,6 +120,7 @@ void Tracer::printHuman(const TraceEvent &E) const {
 }
 
 std::string Tracer::json() const {
+  std::lock_guard<std::mutex> L(Mu);
   std::string Out = "{\"traceEvents\":[";
   bool First = true;
   for (const TraceEvent &E : Events) {
@@ -101,8 +130,8 @@ std::string Tracer::json() const {
       Out += ',';
     First = false;
     Out += "{\"name\":\"" + json::escape(E.Name) + "\",\"cat\":\"" +
-           json::escape(E.Category) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":1" +
-           ",\"ts\":" + json::number(E.BeginUs) +
+           json::escape(E.Category) + "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(E.Tid) + ",\"ts\":" + json::number(E.BeginUs) +
            ",\"dur\":" + json::number(E.DurUs);
     if (!E.Args.empty()) {
       Out += ",\"args\":{";
@@ -143,8 +172,7 @@ bool Tracer::writeJson(const std::string &Path, std::string &Error) const {
 Span &Span::addArg(const char *Key, std::string Value, bool IsString) {
   if (!Active)
     return *this;
-  if (TraceEvent *E = Tracer::get().eventFor(Index))
-    E->Args.push_back({Key, std::move(Value), IsString});
+  Tracer::get().addSpanArg(Index, {Key, std::move(Value), IsString});
   return *this;
 }
 

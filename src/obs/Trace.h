@@ -19,12 +19,20 @@
 /// enables the human-readable form at startup (the historical scheduler
 /// trace alias); programs enable JSON buffering explicitly.
 ///
+/// The tracer is thread-safe: the batch compiler (service/) opens and
+/// closes spans from worker threads concurrently. The event buffer is
+/// guarded by a mutex, nesting depth is tracked per thread, and every
+/// event records a small per-thread id that becomes the Chrome trace
+/// "tid" field, so concurrent workers render as separate tracks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POLYINJECT_OBS_TRACE_H
 #define POLYINJECT_OBS_TRACE_H
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,13 +53,14 @@ struct TraceEvent {
   std::string Category;
   double BeginUs = 0; ///< Relative to the tracer epoch.
   double DurUs = 0;
-  unsigned Depth = 0; ///< Nesting depth at open time.
+  unsigned Depth = 0; ///< Nesting depth at open time (per thread).
+  unsigned Tid = 0;   ///< Small per-thread id (Chrome trace "tid").
   bool Closed = false;
   std::vector<TraceArg> Args;
 };
 
-/// The process-wide trace collector. Not thread-safe (the pipeline is
-/// single-threaded); all state lives behind `Tracer::get()`.
+/// The process-wide trace collector; all state lives behind
+/// `Tracer::get()`, guarded by an internal mutex.
 class Tracer {
 public:
   /// Output mode bits for enable().
@@ -66,14 +75,16 @@ public:
   void enable(unsigned ModeMask);
   /// Turns all tracing off (buffered events are kept until reset()).
   void disable();
-  bool enabled() const { return Modes != 0; }
-  bool humanEnabled() const { return (Modes & Human) != 0; }
-  bool jsonEnabled() const { return (Modes & Json) != 0; }
+  bool enabled() const { return modes() != 0; }
+  bool humanEnabled() const { return (modes() & Human) != 0; }
+  bool jsonEnabled() const { return (modes() & Json) != 0; }
 
   /// Drops all buffered events and restarts the epoch clock.
   void reset();
 
-  /// The buffered events, in open order (parents before children).
+  /// The buffered events, in open order (parents before children on
+  /// each thread). Call only while no spans are being recorded
+  /// concurrently (tests, end-of-run serialization).
   const std::vector<TraceEvent> &events() const { return Events; }
 
   /// Chrome trace-event JSON of the buffered events:
@@ -85,12 +96,14 @@ public:
   bool writeJson(const std::string &Path, std::string &Error) const;
 
   /// The single branch the disabled fast path takes.
-  static bool fastEnabled() { return EnabledFlag; }
+  static bool fastEnabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
 
   // Span implementation interface (not for direct use).
   unsigned openSpan(const char *Name, const char *Category);
   void closeSpan(unsigned Index);
-  TraceEvent *eventFor(unsigned Index);
+  void addSpanArg(unsigned Index, TraceArg Arg);
 
 private:
   Tracer();
@@ -98,11 +111,14 @@ private:
   double nowUs() const;
   void printHuman(const TraceEvent &E) const;
 
-  static inline bool EnabledFlag = false;
-  unsigned Modes = 0;
+  unsigned modes() const { return Modes.load(std::memory_order_relaxed); }
+
+  static inline std::atomic<bool> EnabledFlag{false};
+  mutable std::mutex Mu;
+  std::atomic<unsigned> Modes{0};
+  unsigned OpenCount = 0; ///< Spans open across all threads.
   std::chrono::steady_clock::time_point Epoch;
   std::vector<TraceEvent> Events;
-  std::vector<unsigned> OpenStack;
 };
 
 inline Tracer &tracer() { return Tracer::get(); }

@@ -44,16 +44,6 @@ bool sameTransforms(const Schedule &A, const Schedule &B) {
   return true;
 }
 
-ConfigResult simulateConfig(const Kernel &K, const Schedule &S,
-                            const PipelineOptions &Options) {
-  ConfigResult Result;
-  Result.Sched = S;
-  MappedKernel M = mapToGpu(K, S, Options.Mapping);
-  Result.Sim = simulateKernel(M, Options.Gpu);
-  Result.TimeUs = Result.Sim.TimeUs;
-  return Result;
-}
-
 } // namespace
 
 SchedulerResult pinj::scheduleInfluenced(const Kernel &K,
@@ -143,6 +133,21 @@ OperatorReport pinj::runOperator(const Kernel &K,
     return true;
   };
 
+  // Compilation-cache fast path: on a hit the scheduling phase is
+  // skipped entirely and the cached schedules are replayed through
+  // mapping/simulation below. A hook returning structurally
+  // incompatible schedules (corrupt entry that slipped through its own
+  // validation) is treated as a miss.
+  CachedCompilation Cached;
+  bool CacheHit = false;
+  if (Options.Cache && Options.Cache->lookup(K, Options, Cached) &&
+      Cached.Isl.compatibleWith(K) && Cached.Novec.compatibleWith(K) &&
+      Cached.Infl.compatibleWith(K))
+    CacheHit = true;
+  Report.CacheHit = CacheHit;
+  if (Op.active())
+    Op.arg("cache_hit", CacheHit);
+
   // Reference configuration: plain scheduling, SCCs serialized up front
   // (the isl behaviour observed in the paper's Fig. 2(b)). On any
   // recoverable failure the scheduler already degraded to the original
@@ -150,28 +155,32 @@ OperatorReport pinj::runOperator(const Kernel &K,
   SchedulerResult IslRun;
   {
     obs::Span Cfg("pipeline.config.isl");
-    SchedulerOptions IslOptions = Options.Sched;
-    IslOptions.SerializeSccs = true;
-    IslRun = scheduleKernel(K, IslOptions);
-    if (!IslRun.Outcome.ok()) {
-      Report.Isl.Outcome = IslRun.Outcome;
-      recordDegradation("isl", IslRun.Outcome);
-    }
-    try {
-      finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
-    } catch (const RecoverableError &E) {
-      stripVectorMarks(IslRun.Sched);
-      recordDegradation("isl", E.status());
-    }
-    if (!backendAccepts(K, IslRun.Sched)) {
-      // A constructed reference schedule is generatable on every kernel
-      // the operator library produces; reaching this means the
-      // construction itself was degraded. Fall to the original order.
-      recordDegradation(
-          "isl", Status(StatusCode::Internal, "pipeline.isl",
-                        "reference schedule not generatable; using "
-                        "original program order"));
-      IslRun.Sched = originalSchedule(K);
+    if (CacheHit) {
+      IslRun.Sched = Cached.Isl;
+    } else {
+      SchedulerOptions IslOptions = Options.Sched;
+      IslOptions.SerializeSccs = true;
+      IslRun = scheduleKernel(K, IslOptions);
+      if (!IslRun.Outcome.ok()) {
+        Report.Isl.Outcome = IslRun.Outcome;
+        recordDegradation("isl", IslRun.Outcome);
+      }
+      try {
+        finalizeVectorMarks(K, IslRun.Sched, /*DisableVectorization=*/true);
+      } catch (const RecoverableError &E) {
+        stripVectorMarks(IslRun.Sched);
+        recordDegradation("isl", E.status());
+      }
+      if (!backendAccepts(K, IslRun.Sched)) {
+        // A constructed reference schedule is generatable on every kernel
+        // the operator library produces; reaching this means the
+        // construction itself was degraded. Fall to the original order.
+        recordDegradation(
+            "isl", Status(StatusCode::Internal, "pipeline.isl",
+                          "reference schedule not generatable; using "
+                          "original program order"));
+        IslRun.Sched = originalSchedule(K);
+      }
     }
     simulateGuarded("isl", IslRun.Sched, Report.Isl);
     Report.Isl.Stats = IslRun.Stats;
@@ -185,7 +194,12 @@ OperatorReport pinj::runOperator(const Kernel &K,
   Schedule NovecSched;
   {
     obs::Span Cfg("pipeline.config.novec");
-    if (deadlineExpired("novec")) {
+    if (CacheHit) {
+      InflRun.Sched = Cached.Novec;
+      Report.Influenced = Cached.Influenced;
+      NovecSched = Cached.Novec;
+      simulateGuarded("novec", NovecSched, Report.Novec);
+    } else if (deadlineExpired("novec")) {
       InflRun.Sched = IslRun.Sched;
       Report.Novec.Sched = InflRun.Sched;
       Report.Novec.Outcome =
@@ -233,10 +247,13 @@ OperatorReport pinj::runOperator(const Kernel &K,
   Report.Novec.Metrics = AfterNovec.since(AfterIsl);
 
   // Vectorized configuration; a failed vectorizer degrades to novec.
-  Schedule InflSched = InflRun.Sched;
+  Schedule InflSched = CacheHit ? Cached.Infl : InflRun.Sched;
   {
     obs::Span Cfg("pipeline.config.infl");
-    if (deadlineExpired("infl")) {
+    if (CacheHit) {
+      Report.VecEligible = Cached.VecEligible;
+      simulateGuarded("infl", InflSched, Report.Infl);
+    } else if (deadlineExpired("infl")) {
       Report.Infl.Sched = InflSched;
       Report.Infl.Outcome =
           Status(StatusCode::BudgetExceeded, "pipeline.deadline");
@@ -282,6 +299,18 @@ OperatorReport pinj::runOperator(const Kernel &K,
     }
   }
 
+  // Offer the result for caching: only full-fidelity compilations are
+  // stored, so replays never resurrect a degraded schedule.
+  if (Options.Cache && !CacheHit && Report.Degradations.empty()) {
+    CachedCompilation Entry;
+    Entry.Isl = Report.Isl.Sched;
+    Entry.Novec = Report.Novec.Sched;
+    Entry.Infl = Report.Infl.Sched;
+    Entry.Influenced = Report.Influenced;
+    Entry.VecEligible = Report.VecEligible;
+    Options.Cache->store(K, Options, Entry);
+  }
+
   Report.Metrics = M.snapshot().since(Begin);
   if (Options.Sink)
     Options.Sink->add(toSinkRecord(Report));
@@ -309,6 +338,7 @@ obs::OperatorRecord pinj::toSinkRecord(const OperatorReport &R) {
   Record.Influenced = R.Influenced;
   Record.VecEligible = R.VecEligible;
   Record.Validated = R.Validated;
+  Record.CacheHit = R.CacheHit;
   for (const DegradationEvent &E : R.Degradations) {
     obs::DegradationRecord D;
     D.Config = E.Config;

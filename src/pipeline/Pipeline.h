@@ -27,6 +27,42 @@
 
 namespace pinj {
 
+struct PipelineOptions;
+
+/// The scheduling artifacts one operator compile produces, in the form
+/// the compilation cache stores and replays: the three per-configuration
+/// schedules plus the two paper flags derived while scheduling. A cache
+/// hit substitutes these for the scheduling phase; simulation always
+/// runs.
+struct CachedCompilation {
+  Schedule Isl;
+  Schedule Novec;
+  Schedule Infl;
+  bool Influenced = false;
+  bool VecEligible = false;
+};
+
+/// The pipeline-side cache interface. Implemented by
+/// service::ScheduleCache (fingerprint-keyed LRU with optional disk
+/// backing); defined here so pipeline/ stays below service/. Both calls
+/// must be thread-safe: the batch compiler invokes them from concurrent
+/// workers.
+class CompilationCacheHook {
+public:
+  virtual ~CompilationCacheHook() = default;
+
+  /// \returns true and fills \p Out when a cached compilation exists
+  /// for \p K under \p Options.
+  virtual bool lookup(const Kernel &K, const PipelineOptions &Options,
+                      CachedCompilation &Out) = 0;
+
+  /// Offers a freshly computed compilation for caching. Implementations
+  /// may decline (e.g. capacity 0); the pipeline only offers
+  /// degradation-free results.
+  virtual void store(const Kernel &K, const PipelineOptions &Options,
+                     const CachedCompilation &Entry) = 0;
+};
+
 /// All pipeline tunables in one place.
 struct PipelineOptions {
   SchedulerOptions Sched;
@@ -43,8 +79,13 @@ struct PipelineOptions {
   /// inside it, Sched.Budget still applies per scheduling run.
   SolverBudget Budget;
   /// When set, runOperator appends one record per operator here (the
-  /// JSON metrics sidecar; see obs/Report.h).
+  /// JSON metrics sidecar; see obs/Report.h). Not consulted for the
+  /// cache key (it does not affect the compilation result).
   obs::ReportSink *Sink = nullptr;
+  /// When set, runOperator looks up the operator before scheduling and
+  /// replays the cached schedules on a hit (simulation still runs);
+  /// degradation-free misses are stored back. Not part of the cache key.
+  CompilationCacheHook *Cache = nullptr;
 };
 
 /// Result of one configuration of one operator.
@@ -93,6 +134,9 @@ struct OperatorReport {
   /// Every degradation taken while producing this report, in order.
   /// Empty on a fully healthy run.
   std::vector<DegradationEvent> Degradations;
+  /// The scheduling phase was skipped because the compilation cache
+  /// already held this operator's schedules (see PipelineOptions::Cache).
+  bool CacheHit = false;
 
   bool degraded() const { return !Degradations.empty(); }
   /// Whole-operator pipeline metrics delta (covers all configurations,

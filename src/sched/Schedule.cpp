@@ -5,6 +5,7 @@
 #include "ir/Printer.h"
 
 #include <algorithm>
+#include <sstream>
 
 using namespace pinj;
 
@@ -127,6 +128,252 @@ Schedule pinj::originalSchedule(const Kernel &K) {
   } catch (const RecoverableError &) {
   }
   return Sched;
+}
+
+bool Schedule::compatibleWith(const Kernel &K) const {
+  if (Transforms.size() != K.Stmts.size())
+    return false;
+  for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
+    if (Transforms[S].numRows() != numDims())
+      return false;
+    if (Transforms[S].numCols() != K.rowWidth(K.Stmts[S]))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string pinj::serializeSchedule(const Schedule &S) {
+  std::string Out = "schedule v1\n";
+  Out += "dims " + std::to_string(S.Dims.size()) + " stmts " +
+         std::to_string(S.Transforms.size()) + "\n";
+  for (const DimInfo &D : S.Dims) {
+    Out += "dim";
+    Out += D.IsScalar ? " scalar=1" : " scalar=0";
+    Out += D.BandStart ? " band=1" : " band=0";
+    Out += D.IsParallel ? " parallel=1" : " parallel=0";
+    Out += D.ThreadParallel ? " threadpar=1" : " threadpar=0";
+    Out += D.Influenced ? " influenced=1" : " influenced=0";
+    Out += " vecwidth=" + std::to_string(D.VectorWidth);
+    Out += " vecstmts=";
+    if (D.VectorStmts.empty()) {
+      Out += "-";
+    } else {
+      for (unsigned I = 0, E = D.VectorStmts.size(); I != E; ++I) {
+        if (I != 0)
+          Out += ',';
+        Out += std::to_string(D.VectorStmts[I]);
+      }
+    }
+    Out += "\n";
+  }
+  for (const IntMatrix &T : S.Transforms) {
+    Out += "transform rows=" + std::to_string(T.numRows()) +
+           " cols=" + std::to_string(T.numCols()) + "\n";
+    for (unsigned R = 0, NR = T.numRows(); R != NR; ++R) {
+      const IntVector &Row = T.row(R);
+      for (unsigned C = 0, NC = T.numCols(); C != NC; ++C) {
+        if (C != 0)
+          Out += ' ';
+        Out += std::to_string(Row[C]);
+      }
+      Out += "\n";
+    }
+  }
+  Out += "end\n";
+  return Out;
+}
+
+namespace {
+
+/// Parses "key=value" where the key must match \p Key; \returns the
+/// value text or nullopt.
+std::optional<std::string> takeKeyed(std::istringstream &Tokens,
+                                     const char *Key) {
+  std::string Token;
+  if (!(Tokens >> Token))
+    return std::nullopt;
+  std::string Prefix = std::string(Key) + "=";
+  if (Token.rfind(Prefix, 0) != 0)
+    return std::nullopt;
+  return Token.substr(Prefix.size());
+}
+
+std::optional<bool> parseBoolText(const std::string &Text) {
+  if (Text == "0")
+    return false;
+  if (Text == "1")
+    return true;
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parseUnsignedText(const std::string &Text) {
+  if (Text.empty() || Text.size() > 18 ||
+      Text.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  return std::stoull(Text);
+}
+
+std::optional<Int> parseIntText(const std::string &Text) {
+  std::string Digits = Text;
+  bool Negative = false;
+  if (!Digits.empty() && Digits[0] == '-') {
+    Negative = true;
+    Digits = Digits.substr(1);
+  }
+  std::optional<std::uint64_t> V = parseUnsignedText(Digits);
+  if (!V)
+    return std::nullopt;
+  Int I = static_cast<Int>(*V);
+  return Negative ? -I : I;
+}
+
+} // namespace
+
+std::optional<Schedule>
+pinj::deserializeSchedule(const std::string &Text, std::string &Error) {
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  auto fail = [&](const std::string &Message) {
+    Error = "schedule line " + std::to_string(LineNo) + ": " + Message;
+    return std::nullopt;
+  };
+  auto nextLine = [&]() {
+    if (!std::getline(In, Line))
+      return false;
+    ++LineNo;
+    return true;
+  };
+
+  if (!nextLine() || Line != "schedule v1")
+    return fail("expected 'schedule v1' header");
+  if (!nextLine())
+    return fail("truncated after header");
+  std::uint64_t NumDims = 0, NumStmts = 0;
+  {
+    std::istringstream Tokens(Line);
+    std::string Keyword;
+    std::string DimText, StmtText;
+    std::string StmtsKeyword;
+    if (!(Tokens >> Keyword >> DimText >> StmtsKeyword >> StmtText) ||
+        Keyword != "dims" || StmtsKeyword != "stmts")
+      return fail("expected 'dims <n> stmts <n>'");
+    std::optional<std::uint64_t> D = parseUnsignedText(DimText);
+    std::optional<std::uint64_t> S = parseUnsignedText(StmtText);
+    if (!D || !S)
+      return fail("malformed dims/stmts counts");
+    NumDims = *D;
+    NumStmts = *S;
+    std::string Extra;
+    if (Tokens >> Extra)
+      return fail("trailing tokens after counts");
+  }
+  // A schedule with more dimensions or statements than any kernel the
+  // pipeline can produce is corrupt, not large.
+  if (NumDims > 1024 || NumStmts > 4096)
+    return fail("implausible dims/stmts counts");
+
+  Schedule S;
+  for (std::uint64_t D = 0; D != NumDims; ++D) {
+    if (!nextLine())
+      return fail("truncated dim list");
+    std::istringstream Tokens(Line);
+    std::string Keyword;
+    if (!(Tokens >> Keyword) || Keyword != "dim")
+      return fail("expected 'dim'");
+    DimInfo Info;
+    std::optional<std::string> V;
+    std::optional<bool> B;
+    if (!(V = takeKeyed(Tokens, "scalar")) || !(B = parseBoolText(*V)))
+      return fail("malformed scalar flag");
+    Info.IsScalar = *B;
+    if (!(V = takeKeyed(Tokens, "band")) || !(B = parseBoolText(*V)))
+      return fail("malformed band flag");
+    Info.BandStart = *B;
+    if (!(V = takeKeyed(Tokens, "parallel")) || !(B = parseBoolText(*V)))
+      return fail("malformed parallel flag");
+    Info.IsParallel = *B;
+    if (!(V = takeKeyed(Tokens, "threadpar")) || !(B = parseBoolText(*V)))
+      return fail("malformed threadpar flag");
+    Info.ThreadParallel = *B;
+    if (!(V = takeKeyed(Tokens, "influenced")) || !(B = parseBoolText(*V)))
+      return fail("malformed influenced flag");
+    Info.Influenced = *B;
+    if (!(V = takeKeyed(Tokens, "vecwidth")))
+      return fail("malformed vecwidth");
+    std::optional<std::uint64_t> W = parseUnsignedText(*V);
+    if (!W || *W > 16)
+      return fail("malformed vecwidth");
+    Info.VectorWidth = static_cast<unsigned>(*W);
+    if (!(V = takeKeyed(Tokens, "vecstmts")))
+      return fail("malformed vecstmts");
+    if (*V != "-") {
+      std::istringstream ListIn(*V);
+      std::string Item;
+      while (std::getline(ListIn, Item, ',')) {
+        std::optional<std::uint64_t> Stmt = parseUnsignedText(Item);
+        if (!Stmt || *Stmt >= NumStmts)
+          return fail("vecstmts index out of range");
+        Info.VectorStmts.push_back(static_cast<unsigned>(*Stmt));
+      }
+      if (Info.VectorStmts.empty())
+        return fail("empty vecstmts list");
+    }
+    std::string Extra;
+    if (Tokens >> Extra)
+      return fail("trailing tokens on dim line");
+    S.Dims.push_back(std::move(Info));
+  }
+
+  for (std::uint64_t Stmt = 0; Stmt != NumStmts; ++Stmt) {
+    if (!nextLine())
+      return fail("truncated transform list");
+    std::istringstream Tokens(Line);
+    std::string Keyword;
+    if (!(Tokens >> Keyword) || Keyword != "transform")
+      return fail("expected 'transform'");
+    std::optional<std::string> V;
+    std::optional<std::uint64_t> Rows, Cols;
+    if (!(V = takeKeyed(Tokens, "rows")) || !(Rows = parseUnsignedText(*V)))
+      return fail("malformed transform rows");
+    if (!(V = takeKeyed(Tokens, "cols")) || !(Cols = parseUnsignedText(*V)))
+      return fail("malformed transform cols");
+    if (*Rows != NumDims)
+      return fail("transform row count disagrees with dims");
+    if (*Cols == 0 || *Cols > 4096)
+      return fail("implausible transform cols");
+    std::string Extra;
+    if (Tokens >> Extra)
+      return fail("trailing tokens on transform line");
+    IntMatrix T(static_cast<unsigned>(*Rows), static_cast<unsigned>(*Cols));
+    for (std::uint64_t R = 0; R != *Rows; ++R) {
+      if (!nextLine())
+        return fail("truncated transform rows");
+      std::istringstream RowTokens(Line);
+      std::string Cell;
+      for (std::uint64_t C = 0; C != *Cols; ++C) {
+        if (!(RowTokens >> Cell))
+          return fail("short transform row");
+        std::optional<Int> Value = parseIntText(Cell);
+        if (!Value)
+          return fail("malformed transform entry '" + Cell + "'");
+        T.at(static_cast<unsigned>(R), static_cast<unsigned>(C)) = *Value;
+      }
+      if (RowTokens >> Cell)
+        return fail("long transform row");
+    }
+    S.Transforms.push_back(std::move(T));
+  }
+
+  if (!nextLine() || Line != "end")
+    return fail("missing 'end' terminator");
+  if (nextLine())
+    return fail("trailing content after 'end'");
+  return S;
 }
 
 std::string Schedule::str(const Kernel &K) const {

@@ -20,6 +20,7 @@
 #include "ir/Kernel.h"
 #include "poly/Dependence.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,13 @@ struct DimInfo {
       if (S == Stmt)
         return true;
     return false;
+  }
+
+  bool operator==(const DimInfo &O) const {
+    return IsScalar == O.IsScalar && BandStart == O.BandStart &&
+           IsParallel == O.IsParallel && ThreadParallel == O.ThreadParallel &&
+           Influenced == O.Influenced && VectorStmts == O.VectorStmts &&
+           VectorWidth == O.VectorWidth;
   }
 };
 
@@ -84,7 +92,28 @@ struct Schedule {
                            unsigned Dim) const;
 
   std::string str(const Kernel &K) const;
+
+  bool operator==(const Schedule &O) const {
+    return Transforms == O.Transforms && Dims == O.Dims;
+  }
+
+  /// True when this schedule is structurally compatible with \p K: one
+  /// transform per statement, every transform has numDims() rows of the
+  /// statement's affine width. Deserialized schedules (e.g. from the
+  /// compilation cache) must pass this before being applied.
+  bool compatibleWith(const Kernel &K) const;
 };
+
+/// Serializes \p S to a self-describing, line-based text form (version
+/// header first) suitable for the on-disk schedule cache. The encoding
+/// is canonical: equal schedules produce byte-identical text.
+std::string serializeSchedule(const Schedule &S);
+
+/// Parses text produced by serializeSchedule. \returns nullopt and sets
+/// \p Error on any malformed, truncated or version-mismatched input —
+/// corrupt cache entries must degrade to a miss, never crash.
+std::optional<Schedule> deserializeSchedule(const std::string &Text,
+                                            std::string &Error);
 
 /// Recomputes DimInfo::IsParallel for a schedule built outside the
 /// scheduler (e.g. the TVM-proxy manual schedules): a dimension is

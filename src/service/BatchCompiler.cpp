@@ -1,0 +1,98 @@
+//===- service/BatchCompiler.cpp ------------------------------------------===//
+
+#include "service/BatchCompiler.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace pinj;
+using namespace pinj::service;
+
+std::size_t BatchResult::hits() const {
+  std::size_t N = 0;
+  for (const OperatorReport &R : Reports)
+    N += R.CacheHit ? 1 : 0;
+  return N;
+}
+
+std::size_t BatchResult::degraded() const {
+  std::size_t N = 0;
+  for (const OperatorReport &R : Reports)
+    N += R.degraded() ? 1 : 0;
+  return N;
+}
+
+BatchCompiler::BatchCompiler(PipelineOptions Opts, unsigned Jobs)
+    : Options(std::move(Opts)),
+      NumWorkers(std::clamp(Jobs, 1u, 64u)) {}
+
+namespace {
+
+/// Builds the placeholder report for a job whose worker threw: empty
+/// results, one degradation event at site "service.batch" so the
+/// failure is visible in reports and the sidecar.
+OperatorReport failedReport(const std::string &Name,
+                            const std::string &What) {
+  OperatorReport R;
+  R.Name = Name;
+  DegradationEvent E;
+  E.Config = "batch";
+  E.Site = "service.batch";
+  E.Code = StatusCode::Internal;
+  E.Detail = "worker exception: " + What;
+  R.Degradations.push_back(E);
+  return R;
+}
+
+} // namespace
+
+BatchResult BatchCompiler::run(const std::vector<BatchJob> &Jobs) {
+  BatchResult Result;
+  Result.Reports.resize(Jobs.size());
+  if (Jobs.empty())
+    return Result;
+
+  // Workers never see the sink: records are appended in submission
+  // order after the join, so the sidecar is identical for any pool size.
+  PipelineOptions WorkerOptions = Options;
+  WorkerOptions.Sink = nullptr;
+
+  std::atomic<std::size_t> Next{0};
+  auto Work = [&]() {
+    for (;;) {
+      std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs.size())
+        return;
+      try {
+        Result.Reports[I] = runOperator(Jobs[I].K, WorkerOptions);
+      } catch (const std::exception &Ex) {
+        Result.Reports[I] = failedReport(Jobs[I].K.Name, Ex.what());
+      } catch (...) {
+        Result.Reports[I] = failedReport(Jobs[I].K.Name, "unknown");
+      }
+    }
+  };
+
+  unsigned PoolSize = static_cast<unsigned>(
+      std::min<std::size_t>(NumWorkers, Jobs.size()));
+  if (PoolSize <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(PoolSize);
+    for (unsigned W = 0; W != PoolSize; ++W)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  if (Options.Sink)
+    for (const OperatorReport &R : Result.Reports)
+      Options.Sink->add(toSinkRecord(R));
+  return Result;
+}

@@ -1,0 +1,345 @@
+//===- service/Cache.cpp --------------------------------------------------===//
+
+#include "service/Cache.h"
+
+#include "obs/Metrics.h"
+#include "sched/Schedule.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+using namespace pinj;
+using namespace pinj::service;
+
+namespace {
+
+// Counter references are cached once; the registry keeps them valid for
+// the process lifetime and increments are relaxed atomics, so these are
+// safe from any worker thread.
+obs::Counter &hitCounter() {
+  static obs::Counter &C = obs::metrics().counter("service.cache.hits");
+  return C;
+}
+obs::Counter &missCounter() {
+  static obs::Counter &C = obs::metrics().counter("service.cache.misses");
+  return C;
+}
+obs::Counter &evictCounter() {
+  static obs::Counter &C = obs::metrics().counter("service.cache.evictions");
+  return C;
+}
+obs::Counter &storeCounter() {
+  static obs::Counter &C = obs::metrics().counter("service.cache.stores");
+  return C;
+}
+obs::Counter &diskHitCounter() {
+  static obs::Counter &C = obs::metrics().counter("service.cache.disk_hits");
+  return C;
+}
+obs::Counter &diskRejectCounter() {
+  static obs::Counter &C =
+      obs::metrics().counter("service.cache.disk_rejects");
+  return C;
+}
+
+constexpr const char *FormatHeader = "polyinject-cache v1";
+
+} // namespace
+
+std::string service::encodeCacheEntry(const Fingerprint &Key,
+                                      const CachedCompilation &Entry) {
+  std::string Out;
+  Out += FormatHeader;
+  Out += '\n';
+  Out += "fingerprint " + Key.str() + '\n';
+  Out += "influenced ";
+  Out += Entry.Influenced ? '1' : '0';
+  Out += '\n';
+  Out += "veceligible ";
+  Out += Entry.VecEligible ? '1' : '0';
+  Out += '\n';
+  const std::pair<const char *, const Schedule *> Configs[] = {
+      {"isl", &Entry.Isl}, {"novec", &Entry.Novec}, {"infl", &Entry.Infl}};
+  for (const auto &[Name, Sched] : Configs) {
+    std::string Text = serializeSchedule(*Sched);
+    // Length prefix: the payload is read as an exact byte range, so a
+    // truncated file can never silently yield a shorter schedule.
+    Out += "config ";
+    Out += Name;
+    Out += ' ' + std::to_string(Text.size()) + '\n';
+    Out += Text;
+  }
+  Out += "end\n";
+  return Out;
+}
+
+namespace {
+
+/// Reads one '\n'-terminated line starting at \p Pos; advances \p Pos
+/// past the newline. Fails on end-of-text (every line in the format is
+/// newline-terminated, so a missing newline means truncation).
+bool takeLine(const std::string &Text, std::size_t &Pos, std::string &Line) {
+  if (Pos >= Text.size())
+    return false;
+  std::size_t Nl = Text.find('\n', Pos);
+  if (Nl == std::string::npos)
+    return false;
+  Line = Text.substr(Pos, Nl - Pos);
+  Pos = Nl + 1;
+  return true;
+}
+
+bool parseFlagLine(const std::string &Line, const std::string &Key,
+                   bool &Out) {
+  if (Line == Key + " 0") {
+    Out = false;
+    return true;
+  }
+  if (Line == Key + " 1") {
+    Out = true;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool service::decodeCacheEntry(const std::string &Text,
+                               const Fingerprint &Expect,
+                               CachedCompilation &Out, std::string &Error) {
+  std::size_t Pos = 0;
+  std::string Line;
+  if (!takeLine(Text, Pos, Line) || Line != FormatHeader) {
+    Error = "bad or missing format header";
+    return false;
+  }
+  if (!takeLine(Text, Pos, Line) ||
+      Line != "fingerprint " + Expect.str()) {
+    Error = "fingerprint mismatch or malformed fingerprint line";
+    return false;
+  }
+  if (!takeLine(Text, Pos, Line) ||
+      !parseFlagLine(Line, "influenced", Out.Influenced)) {
+    Error = "malformed influenced line";
+    return false;
+  }
+  if (!takeLine(Text, Pos, Line) ||
+      !parseFlagLine(Line, "veceligible", Out.VecEligible)) {
+    Error = "malformed veceligible line";
+    return false;
+  }
+  const std::pair<const char *, Schedule *> Configs[] = {
+      {"isl", &Out.Isl}, {"novec", &Out.Novec}, {"infl", &Out.Infl}};
+  for (const auto &[Name, Sched] : Configs) {
+    if (!takeLine(Text, Pos, Line)) {
+      Error = std::string("missing config line for ") + Name;
+      return false;
+    }
+    std::istringstream LS(Line);
+    std::string Tag, Got;
+    std::uint64_t Size = 0;
+    if (!(LS >> Tag >> Got >> Size) || Tag != "config" || Got != Name ||
+        !(LS >> std::ws).eof()) {
+      Error = std::string("malformed config line for ") + Name;
+      return false;
+    }
+    // Guard the range check against Pos + Size overflowing.
+    if (Size > Text.size() || Pos > Text.size() - Size) {
+      Error = std::string("truncated schedule payload for ") + Name;
+      return false;
+    }
+    std::string Payload = Text.substr(Pos, Size);
+    Pos += Size;
+    std::string SchedError;
+    std::optional<Schedule> S = deserializeSchedule(Payload, SchedError);
+    if (!S) {
+      Error = std::string(Name) + " schedule: " + SchedError;
+      return false;
+    }
+    *Sched = std::move(*S);
+  }
+  if (!takeLine(Text, Pos, Line) || Line != "end") {
+    Error = "missing 'end' terminator";
+    return false;
+  }
+  if (Pos != Text.size()) {
+    Error = "trailing bytes after 'end'";
+    return false;
+  }
+  return true;
+}
+
+ScheduleCache::ScheduleCache() : ScheduleCache(Config()) {}
+
+ScheduleCache::ScheduleCache(Config C) : Cfg(std::move(C)) {}
+
+CacheStats ScheduleCache::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Lru.size();
+}
+
+void ScheduleCache::clearMemory() {
+  std::lock_guard<std::mutex> L(Mu);
+  Lru.clear();
+  Index.clear();
+}
+
+std::string ScheduleCache::diskPathFor(const Fingerprint &Key) const {
+  if (Cfg.DiskDir.empty())
+    return std::string();
+  return (std::filesystem::path(Cfg.DiskDir) / (Key.str() + ".psc"))
+      .string();
+}
+
+bool ScheduleCache::memoryLookup(const Fingerprint &Key,
+                                 CachedCompilation &Out) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return false;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Out = It->second->Value;
+  return true;
+}
+
+void ScheduleCache::insertMemory(const Fingerprint &Key,
+                                 const CachedCompilation &Value) {
+  if (Cfg.Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->Value = Value;
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  Lru.push_front(Entry{Key, Value});
+  Index[Key] = Lru.begin();
+  while (Lru.size() > Cfg.Capacity) {
+    Index.erase(Lru.back().Key);
+    Lru.pop_back();
+    ++Stats.Evictions;
+    evictCounter().inc();
+  }
+}
+
+bool ScheduleCache::diskLookup(const Fingerprint &Key, const Kernel &K,
+                               CachedCompilation &Out) {
+  std::string Path = diskPathFor(Key);
+  if (Path.empty())
+    return false;
+  std::string Text;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In)
+      return false; // Not present: a plain miss, not a reject.
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    if (In.bad())
+      return false;
+    Text = Buf.str();
+  }
+  std::string Error;
+  CachedCompilation Decoded;
+  if (!decodeCacheEntry(Text, Key, Decoded, Error) ||
+      !Decoded.Isl.compatibleWith(K) || !Decoded.Novec.compatibleWith(K) ||
+      !Decoded.Infl.compatibleWith(K)) {
+    // Corrupt, truncated, stale-format or wrong-shape entry: count it
+    // and fall through to a miss. Never an error.
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.DiskRejects;
+    }
+    diskRejectCounter().inc();
+    return false;
+  }
+  Out = std::move(Decoded);
+  return true;
+}
+
+void ScheduleCache::diskStore(const Fingerprint &Key,
+                              const CachedCompilation &Value) {
+  std::string Path = diskPathFor(Key);
+  if (Path.empty())
+    return;
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(Cfg.DiskDir, Ec);
+  if (Ec)
+    return; // Disk tier is best-effort; memory tier already has it.
+  // Write-then-rename so readers only ever see complete files, even
+  // with concurrent writers (the rename is atomic within a directory).
+  std::ostringstream TmpName;
+  TmpName << Path << ".tmp." << std::this_thread::get_id();
+  std::string Tmp = TmpName.str();
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return;
+    OutF << encodeCacheEntry(Key, Value);
+    OutF.close();
+    if (!OutF) {
+      fs::remove(Tmp, Ec);
+      return;
+    }
+  }
+  fs::rename(Tmp, Path, Ec);
+  if (Ec)
+    fs::remove(Tmp, Ec);
+}
+
+bool ScheduleCache::lookup(const Kernel &K, const PipelineOptions &Options,
+                           CachedCompilation &Out) {
+  Fingerprint Key = fingerprintRequest(K, Options);
+  if (memoryLookup(Key, Out)) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Hits;
+    }
+    hitCounter().inc();
+    return true;
+  }
+  if (diskLookup(Key, K, Out)) {
+    insertMemory(Key, Out);
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      ++Stats.Hits;
+      ++Stats.DiskHits;
+    }
+    hitCounter().inc();
+    diskHitCounter().inc();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Misses;
+  }
+  missCounter().inc();
+  return false;
+}
+
+void ScheduleCache::store(const Kernel &K, const PipelineOptions &Options,
+                          const CachedCompilation &Entry) {
+  // Belt and braces: never cache schedules that do not fit the kernel
+  // (the pipeline only stores degradation-free results, but the hook is
+  // a public interface).
+  if (!Entry.Isl.compatibleWith(K) || !Entry.Novec.compatibleWith(K) ||
+      !Entry.Infl.compatibleWith(K))
+    return;
+  Fingerprint Key = fingerprintRequest(K, Options);
+  insertMemory(Key, Entry);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ++Stats.Stores;
+  }
+  storeCounter().inc();
+  diskStore(Key, Entry);
+}

@@ -1,0 +1,117 @@
+//===- service/Cache.h - Fingerprint-keyed schedule cache -------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation service's schedule cache: a thread-safe in-memory LRU
+/// over complete per-configuration compilations (isl/novec/infl
+/// schedules plus the influenced/vec flags), keyed by the request
+/// fingerprint (service/Fingerprint.h), with an optional on-disk backing
+/// store (one file per fingerprint under a cache directory).
+///
+/// Robustness contract: a corrupt, truncated, version-mismatched or
+/// kernel-incompatible disk entry is *always* a miss — recorded on the
+/// `service.cache.disk_rejects` counter — never an error or a crash. The
+/// disk format carries a versioned header so stale formats from older
+/// builds are rejected cleanly.
+///
+/// Counters: `service.cache.{hits,misses,evictions,stores}` plus
+/// `service.cache.{disk_hits,disk_rejects}` for the backing store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_SERVICE_CACHE_H
+#define POLYINJECT_SERVICE_CACHE_H
+
+#include "pipeline/Pipeline.h"
+#include "service/Fingerprint.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pinj {
+namespace service {
+
+/// Point-in-time cache statistics (also mirrored on obs counters; this
+/// copy is per-instance, so tests do not race on the global registry).
+struct CacheStats {
+  std::uint64_t Hits = 0;        ///< Memory or disk hits.
+  std::uint64_t Misses = 0;      ///< Lookups that found nothing usable.
+  std::uint64_t Evictions = 0;   ///< LRU entries dropped at capacity.
+  std::uint64_t Stores = 0;      ///< Entries accepted by store().
+  std::uint64_t DiskHits = 0;    ///< Hits served from the backing store.
+  std::uint64_t DiskRejects = 0; ///< Corrupt/stale disk entries skipped.
+};
+
+/// Serializes one cache entry to the versioned on-disk text form.
+std::string encodeCacheEntry(const Fingerprint &Key,
+                             const CachedCompilation &Entry);
+
+/// Parses encodeCacheEntry output. \returns false and sets \p Error on
+/// any malformed input or when the embedded fingerprint differs from
+/// \p Expect (a renamed/moved file must not serve the wrong kernel).
+bool decodeCacheEntry(const std::string &Text, const Fingerprint &Expect,
+                      CachedCompilation &Out, std::string &Error);
+
+/// The cache. All public methods are thread-safe; disk I/O happens
+/// outside the lock so concurrent workers only serialize on the map.
+class ScheduleCache : public CompilationCacheHook {
+public:
+  struct Config {
+    /// Maximum in-memory entries; least recently used is evicted. 0
+    /// keeps nothing in memory (disk-only operation).
+    std::size_t Capacity = 256;
+    /// Backing-store directory (created on first store); empty disables
+    /// the disk tier.
+    std::string DiskDir;
+  };
+
+  ScheduleCache();
+  explicit ScheduleCache(Config C);
+
+  // CompilationCacheHook.
+  bool lookup(const Kernel &K, const PipelineOptions &Options,
+              CachedCompilation &Out) override;
+  void store(const Kernel &K, const PipelineOptions &Options,
+             const CachedCompilation &Entry) override;
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  const Config &config() const { return Cfg; }
+
+  /// Drops every in-memory entry (the disk tier is untouched).
+  void clearMemory();
+
+  /// The backing-store path for \p Key ("<dir>/<32hex>.psc"); empty
+  /// when the disk tier is disabled. Exposed for tests and tooling.
+  std::string diskPathFor(const Fingerprint &Key) const;
+
+private:
+  struct Entry {
+    Fingerprint Key;
+    CachedCompilation Value;
+  };
+
+  bool memoryLookup(const Fingerprint &Key, CachedCompilation &Out);
+  void insertMemory(const Fingerprint &Key, const CachedCompilation &Value);
+  bool diskLookup(const Fingerprint &Key, const Kernel &K,
+                  CachedCompilation &Out);
+  void diskStore(const Fingerprint &Key, const CachedCompilation &Value);
+
+  Config Cfg;
+  mutable std::mutex Mu;
+  std::list<Entry> Lru; ///< Front = most recently used.
+  std::map<Fingerprint, std::list<Entry>::iterator> Index;
+  CacheStats Stats;
+};
+
+} // namespace service
+} // namespace pinj
+
+#endif // POLYINJECT_SERVICE_CACHE_H

@@ -1,0 +1,162 @@
+//===- service/Fingerprint.cpp --------------------------------------------===//
+
+#include "service/Fingerprint.h"
+
+#include "pipeline/Pipeline.h"
+
+#include <cstring>
+
+using namespace pinj;
+using namespace pinj::service;
+
+namespace {
+
+constexpr std::uint64_t FnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t FnvPrime = 0x100000001b3ull;
+// The second lane starts from a different basis and salts every byte,
+// making the two lanes independent hash functions over the same stream.
+constexpr std::uint64_t Lane2Offset = 0x6c62272e07bb0142ull;
+constexpr std::uint8_t Lane2Salt = 0x9e;
+
+} // namespace
+
+std::string Fingerprint::str() const {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (unsigned I = 0; I != 16; ++I)
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xf];
+  for (unsigned I = 0; I != 16; ++I)
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+FingerprintBuilder::FingerprintBuilder() : Hi(FnvOffset), Lo(Lane2Offset) {}
+
+void FingerprintBuilder::byte(std::uint8_t B) {
+  Hi = (Hi ^ B) * FnvPrime;
+  Lo = (Lo ^ static_cast<std::uint8_t>(B ^ Lane2Salt)) * FnvPrime;
+}
+
+void FingerprintBuilder::u32(std::uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    byte(static_cast<std::uint8_t>(V >> (8 * I)));
+}
+
+void FingerprintBuilder::u64(std::uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    byte(static_cast<std::uint8_t>(V >> (8 * I)));
+}
+
+void FingerprintBuilder::f64(double V) {
+  std::uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void FingerprintBuilder::str(const std::string &S) {
+  u64(S.size());
+  for (char C : S)
+    byte(static_cast<std::uint8_t>(C));
+}
+
+namespace {
+
+void hashAccess(FingerprintBuilder &H, const Access &A) {
+  H.u32(A.TensorId);
+  H.byte(A.IsWrite ? 1 : 0);
+  H.u64(A.Indices.size());
+  for (const IntVector &Row : A.Indices) {
+    H.u64(Row.size());
+    for (Int V : Row)
+      H.i64(V);
+  }
+}
+
+void hashBudget(FingerprintBuilder &H, const SolverBudget &B) {
+  H.u64(B.MaxPivots);
+  H.u64(B.MaxIlpNodes);
+  H.f64(B.WallMs);
+}
+
+} // namespace
+
+Fingerprint service::fingerprintKernel(const Kernel &K) {
+  FingerprintBuilder H;
+  H.str("pinj-kernel-v1"); // Format tag: bump when the hashed shape changes.
+  H.u64(K.numParams());
+  H.u64(K.Tensors.size());
+  for (const Tensor &T : K.Tensors) {
+    // Name erased; identity is the tensor's position (Access::TensorId).
+    H.u32(T.ElemBytes);
+    H.u64(T.Shape.size());
+    for (Int S : T.Shape)
+      H.i64(S);
+  }
+  H.u64(K.Stmts.size());
+  for (const Statement &S : K.Stmts) {
+    // Statement/iterator names erased; order preserved by stream order.
+    H.byte(static_cast<std::uint8_t>(S.Kind));
+    H.u64(S.Extents.size());
+    for (Int E : S.Extents)
+      H.i64(E);
+    H.u64(S.OrigBeta.size());
+    for (Int B : S.OrigBeta)
+      H.i64(B);
+    hashAccess(H, S.Write);
+    H.u64(S.Reads.size());
+    for (const Access &R : S.Reads)
+      hashAccess(H, R);
+  }
+  return H.get();
+}
+
+std::uint64_t service::fingerprintOptions(const PipelineOptions &O) {
+  FingerprintBuilder H;
+  H.str("pinj-options-v1");
+  // SchedulerOptions.
+  H.i64(O.Sched.CoeffBound);
+  H.i64(O.Sched.ConstBound);
+  H.byte(O.Sched.ProximityIncludesInput ? 1 : 0);
+  H.byte(O.Sched.SerializeSccs ? 1 : 0);
+  H.byte(O.Sched.PreferOriginalOrder ? 1 : 0);
+  H.byte(O.Sched.UseFeautrierFallback ? 1 : 0);
+  H.u32(O.Sched.MaxDims);
+  hashBudget(H, O.Sched.Budget);
+  // InfluenceOptions.
+  H.f64(O.Influence.Weights.W1);
+  H.f64(O.Influence.Weights.W2);
+  H.f64(O.Influence.Weights.W3);
+  H.f64(O.Influence.Weights.W4);
+  H.f64(O.Influence.Weights.W5);
+  H.byte(O.Influence.Weights.PaperFormulaThreadTerm ? 1 : 0);
+  H.i64(O.Influence.ThreadLimit);
+  H.u32(O.Influence.MaxScenarios);
+  H.u32(O.Influence.MaxInnerDims);
+  // GPU mapping + machine model (the model feeds vector-width choices
+  // through the influence cost, so it is compilation-relevant).
+  H.i64(O.Mapping.MaxThreadsPerBlock);
+  H.u32(O.Gpu.WarpSize);
+  H.u32(O.Gpu.SectorBytes);
+  H.f64(O.Gpu.PeakBandwidthGBs);
+  H.f64(O.Gpu.IssueRateGops);
+  H.f64(O.Gpu.LaunchOverheadUs);
+  H.f64(O.Gpu.OutstandingRequestsPerWarp);
+  H.f64(O.Gpu.HalfSaturationBytes);
+  H.f64(O.Gpu.MinEfficiency);
+  H.f64(O.Gpu.NarrowAccessEfficiency);
+  H.byte(O.Validate ? 1 : 0);
+  hashBudget(H, O.Budget);
+  return H.get().Hi ^ (H.get().Lo * FnvPrime);
+}
+
+Fingerprint service::fingerprintRequest(const Kernel &K,
+                                        const PipelineOptions &Options) {
+  FingerprintBuilder H;
+  H.str("pinj-request-v1");
+  Fingerprint KF = fingerprintKernel(K);
+  H.u64(KF.Hi);
+  H.u64(KF.Lo);
+  H.u64(fingerprintOptions(Options));
+  return H.get();
+}

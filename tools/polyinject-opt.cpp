@@ -4,7 +4,7 @@
 // the full pipeline, printing the requested artifacts.
 //
 // Usage:
-//   polyinject-opt [options] kernel.pinj
+//   polyinject-opt [options] kernel.pinj [more.pinj ...]
 //     --config=isl|tvm|novec|infl|all   configurations to run (default all)
 //     --print=schedule,cuda,ast,tree,deps,sim   artifacts (default
 //                                               schedule,sim)
@@ -18,6 +18,19 @@
 //     --metrics-json=FILE               write the per-operator metrics
 //                                       sidecar
 //     --stats                           print the process metrics table
+//
+// Compilation service (batch mode — entered when more than one kernel
+// file is given, or --ops-file is used):
+//     --jobs=N                          worker threads (default 1)
+//     --cache-dir=PATH                  persistent schedule cache
+//                                       directory (also honored in
+//                                       single-kernel mode)
+//     --ops-file=FILE                   operator list, one .pinj path
+//                                       per line relative to FILE
+//
+// Batch stdout is deterministic: reports are printed in submission
+// order and contain only analytic results, so the bytes are identical
+// for any --jobs value. Wall-clock timing goes to stderr.
 //
 // POLYINJECT_TRACE=1 in the environment prints the human-readable span
 // trace on stderr.
@@ -36,14 +49,20 @@
 #include "lp/Budget.h"
 #include "pipeline/Pipeline.h"
 #include "poly/Dependence.h"
+#include "service/BatchCompiler.h"
+#include "service/Cache.h"
 #include "support/Status.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <vector>
 
 using namespace pinj;
 
@@ -56,7 +75,8 @@ void printUsage(const char *Argv0) {
       "[--print=schedule,cuda,ast,tree,deps,sim] [--validate] "
       "[--feautrier] [--max-pivots=N] [--max-nodes=N] [--deadline-ms=X] "
       "[--trace-json=FILE] [--metrics-json=FILE] [--stats] "
-      "kernel.pinj\n",
+      "[--jobs=N] [--cache-dir=PATH] [--ops-file=FILE] "
+      "kernel.pinj [more.pinj ...]\n",
       Argv0);
 }
 
@@ -96,6 +116,148 @@ void printConfig(const Kernel &K, const char *Name, const ConfigResult &R,
   std::printf("\n");
 }
 
+/// Reads one kernel file; exits the process with a diagnostic on
+/// failure (both modes treat an unreadable/unparsable input as fatal).
+Kernel loadKernel(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Error;
+  std::optional<Kernel> K = parseKernel(Buffer.str(), Error);
+  if (!K) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
+    std::exit(1);
+  }
+  std::string Diag = K->verify();
+  if (!Diag.empty()) {
+    std::fprintf(stderr, "%s: malformed kernel: %s\n", Path.c_str(),
+                 Diag.c_str());
+    std::exit(1);
+  }
+  return std::move(*K);
+}
+
+/// Expands an --ops-file list: one path per line, '#' comments,
+/// relative paths resolved against the list file's directory.
+std::vector<std::string> readOpsFile(const std::string &ListPath) {
+  std::ifstream In(ListPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", ListPath.c_str());
+    std::exit(1);
+  }
+  std::filesystem::path Base =
+      std::filesystem::path(ListPath).parent_path();
+  std::vector<std::string> Paths;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos)
+      continue;
+    size_t Last = Line.find_last_not_of(" \t\r");
+    std::string Entry = Line.substr(First, Last - First + 1);
+    std::filesystem::path P(Entry);
+    Paths.push_back(P.is_absolute() ? P.string() : (Base / P).string());
+  }
+  return Paths;
+}
+
+/// Batch mode: compiles every kernel through the service worker pool
+/// and prints reports in submission order. Stdout is deterministic for
+/// any --jobs value; wall-clock timing goes to stderr.
+int runBatch(const std::vector<std::string> &Paths,
+             PipelineOptions Options, unsigned Jobs, bool CacheEnabled,
+             const std::set<std::string> &Artifacts,
+             const std::string &ConfigArg, bool Stats,
+             const std::string &MetricsJsonPath) {
+  std::vector<service::BatchJob> Batch;
+  Batch.reserve(Paths.size());
+  for (const std::string &P : Paths)
+    Batch.push_back(service::BatchJob{loadKernel(P)});
+
+  obs::ReportSink Sink;
+  if (!MetricsJsonPath.empty())
+    Options.Sink = &Sink;
+
+  // The worker count must stay off stdout: batch stdout is specified to
+  // be byte-identical for any --jobs value.
+  std::printf("batch of %zu operators\n\n", Batch.size());
+  auto Start = std::chrono::steady_clock::now();
+  service::BatchCompiler Compiler(Options, Jobs);
+  service::BatchResult Result = Compiler.run(Batch);
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  bool All = ConfigArg == "all";
+  std::size_t Influenced = 0, Vectorizable = 0;
+  for (std::size_t I = 0; I != Result.Reports.size(); ++I) {
+    const OperatorReport &R = Result.Reports[I];
+    const Kernel &K = Batch[I].K;
+    std::printf("==== operator %s (%s) ====\n", R.Name.c_str(),
+                Paths[I].c_str());
+    if (All || ConfigArg == "isl")
+      printConfig(K, "isl", R.Isl, Artifacts, Options);
+    if (All || ConfigArg == "novec")
+      printConfig(K, "novec", R.Novec, Artifacts, Options);
+    if (All || ConfigArg == "infl")
+      printConfig(K, "infl", R.Infl, Artifacts, Options);
+    if (All || ConfigArg == "tvm")
+      std::printf("==== tvm (per-statement launches) ====\ntime %.3f us "
+                  "over %u launches\n\n",
+                  R.Tvm.TimeUs, R.Tvm.Launches);
+    std::printf("summary: influenced=%s vectorizable=%s "
+                "speedup(infl/isl)=%.2fx%s\n",
+                R.Influenced ? "yes" : "no", R.VecEligible ? "yes" : "no",
+                R.Infl.TimeUs > 0 ? R.Isl.TimeUs / R.Infl.TimeUs : 0.0,
+                !CacheEnabled   ? ""
+                : R.CacheHit    ? " cache=hit"
+                                : " cache=miss");
+    if (R.degraded()) {
+      std::printf("degradations (%zu):\n", R.Degradations.size());
+      for (const DegradationEvent &E : R.Degradations)
+        std::printf("  %-8s %s at %s: %s\n", E.Config.c_str(),
+                    statusCodeName(E.Code), E.Site.c_str(),
+                    E.Detail.c_str());
+    }
+    std::printf("\n");
+    Influenced += R.Influenced ? 1 : 0;
+    Vectorizable += R.VecEligible ? 1 : 0;
+  }
+  std::printf("batch summary: %zu operators, %zu influenced, "
+              "%zu vectorizable, %zu degraded",
+              Result.Reports.size(), Influenced, Vectorizable,
+              Result.degraded());
+  if (CacheEnabled)
+    std::printf(", %zu cache hits", Result.hits());
+  std::printf("\n");
+  // Timing is the one nondeterministic quantity; keep it off stdout so
+  // batch output stays byte-identical across --jobs values.
+  std::fprintf(stderr, "batch wall time: %.1f ms (jobs=%u)\n", WallMs,
+               Jobs);
+
+  if (Stats)
+    std::printf("\n==== process metrics ====\n%s",
+                obs::metrics().snapshot().table().c_str());
+  std::string Error;
+  if (!MetricsJsonPath.empty() &&
+      !Sink.writeJson(MetricsJsonPath, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Options.Validate)
+    for (const OperatorReport &R : Result.Reports)
+      if (!R.Validated)
+        return 1;
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -107,7 +269,10 @@ int main(int Argc, char **Argv) {
   SolverBudget Budget;
   std::string TraceJsonPath;
   std::string MetricsJsonPath;
-  const char *Path = nullptr;
+  std::string CacheDir;
+  std::string OpsFilePath;
+  unsigned Jobs = 1;
+  std::vector<std::string> Paths;
 
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
@@ -127,6 +292,24 @@ int main(int Argc, char **Argv) {
       Budget.MaxIlpNodes = std::strtoull(Arg + 12, nullptr, 10);
     } else if (std::strncmp(Arg, "--deadline-ms=", 14) == 0) {
       Budget.WallMs = std::strtod(Arg + 14, nullptr);
+    } else if (std::strncmp(Arg, "--jobs=", 7) == 0) {
+      Jobs = static_cast<unsigned>(std::strtoul(Arg + 7, nullptr, 10));
+      if (Jobs == 0) {
+        std::fprintf(stderr, "error: --jobs needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--cache-dir=", 12) == 0) {
+      CacheDir = Arg + 12;
+      if (CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a path\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--ops-file=", 11) == 0) {
+      OpsFilePath = Arg + 11;
+      if (OpsFilePath.empty()) {
+        std::fprintf(stderr, "error: --ops-file needs a file name\n");
+        return 2;
+      }
     } else if (std::strncmp(Arg, "--trace-json=", 13) == 0) {
       TraceJsonPath = Arg + 13;
       if (TraceJsonPath.empty()) {
@@ -143,34 +326,37 @@ int main(int Argc, char **Argv) {
       printUsage(Argv[0]);
       return 2;
     } else {
-      Path = Arg;
+      Paths.push_back(Arg);
     }
   }
-  if (!Path) {
+  if (!OpsFilePath.empty())
+    for (std::string &P : readOpsFile(OpsFilePath))
+      Paths.push_back(std::move(P));
+  if (Paths.empty()) {
     printUsage(Argv[0]);
     return 2;
   }
   if (!TraceJsonPath.empty())
     obs::tracer().enable(obs::Tracer::Json);
 
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Path);
-    return 1;
+  std::unique_ptr<service::ScheduleCache> Cache;
+  if (!CacheDir.empty()) {
+    service::ScheduleCache::Config CacheCfg;
+    CacheCfg.DiskDir = CacheDir;
+    Cache = std::make_unique<service::ScheduleCache>(CacheCfg);
   }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
+
+  if (Paths.size() > 1 || !OpsFilePath.empty()) {
+    PipelineOptions Options;
+    Options.Validate = Validate;
+    Options.Sched.UseFeautrierFallback = Feautrier;
+    Options.Budget = Budget;
+    Options.Cache = Cache.get();
+    return runBatch(Paths, Options, Jobs, Cache != nullptr, Artifacts,
+                    ConfigArg, Stats, MetricsJsonPath);
+  }
   std::string Error;
-  std::optional<Kernel> K = parseKernel(Buffer.str(), Error);
-  if (!K) {
-    std::fprintf(stderr, "%s: %s\n", Path, Error.c_str());
-    return 1;
-  }
-  std::string Diag = K->verify();
-  if (!Diag.empty()) {
-    std::fprintf(stderr, "%s: malformed kernel: %s\n", Path, Diag.c_str());
-    return 1;
-  }
+  std::optional<Kernel> K = loadKernel(Paths.front());
 
   std::printf("kernel '%s'\n\n%s\n", K->Name.c_str(),
               printKernel(*K).c_str());
@@ -200,6 +386,7 @@ int main(int Argc, char **Argv) {
   Options.Validate = Validate;
   Options.Sched.UseFeautrierFallback = Feautrier;
   Options.Budget = Budget;
+  Options.Cache = Cache.get();
   obs::ReportSink Sink;
   if (!MetricsJsonPath.empty() || Stats)
     Options.Sink = &Sink;
