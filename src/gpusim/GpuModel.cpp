@@ -1,0 +1,51 @@
+//===- gpusim/GpuModel.cpp ------------------------------------------------===//
+
+#include "gpusim/GpuModel.h"
+
+using namespace pinj;
+
+namespace {
+
+/// NVIDIA Tesla P100 (PCIe): HBM2 at ~732 GB/s, lower issue throughput
+/// and a slightly higher launch cost than V100; narrow accesses pay a
+/// little more.
+GpuModel p100Model() {
+  GpuModel M;
+  M.PeakBandwidthGBs = 732.0;
+  M.IssueRateGops = 3000.0;
+  M.LaunchOverheadUs = 5.0;
+  M.OutstandingRequestsPerWarp = 5.0;
+  M.HalfSaturationBytes = 80.0 * 1024.0;
+  M.NarrowAccessEfficiency = 0.8;
+  return M;
+}
+
+/// NVIDIA A100 (SXM): HBM2e at ~1555 GB/s, more outstanding requests
+/// per warp (larger latency-hiding window), cheaper launches, and a
+/// narrower gap between scalar and 128-bit access efficiency.
+GpuModel a100Model() {
+  GpuModel M;
+  M.PeakBandwidthGBs = 1555.0;
+  M.IssueRateGops = 6900.0;
+  M.LaunchOverheadUs = 3.0;
+  M.OutstandingRequestsPerWarp = 8.0;
+  M.HalfSaturationBytes = 160.0 * 1024.0;
+  M.NarrowAccessEfficiency = 0.88;
+  return M;
+}
+
+} // namespace
+
+std::optional<GpuModel> pinj::gpuModelPreset(const std::string &Name) {
+  if (Name == "v100")
+    return GpuModel(); // The default model approximates a V100 (PCIe).
+  if (Name == "a100")
+    return a100Model();
+  if (Name == "p100")
+    return p100Model();
+  return std::nullopt;
+}
+
+std::vector<std::string> pinj::gpuModelPresetNames() {
+  return {"v100", "a100", "p100"};
+}

@@ -22,6 +22,10 @@
 
 #include "codegen/Mapping.h"
 
+#include <optional>
+#include <string>
+#include <vector>
+
 namespace pinj {
 
 /// Machine parameters; defaults approximate a Tesla V100 (PCIe).
@@ -79,6 +83,17 @@ struct KernelSim {
     return TransactionBytes > 0 ? UsefulBytes / TransactionBytes : 1.0;
   }
 };
+
+/// The machine model for a named preset ("v100" is the default-constructed
+/// model; "a100" and "p100" rescale bandwidth/issue/latency-hiding), or
+/// nothing for an unknown name. Every preset field participates in the
+/// options fingerprint (service/Fingerprint.h), so cache and tuning-db
+/// keys distinguish targets.
+std::optional<GpuModel> gpuModelPreset(const std::string &Name);
+
+/// Every name gpuModelPreset accepts, in a stable order (for --gpu=
+/// diagnostics).
+std::vector<std::string> gpuModelPresetNames();
 
 /// Simulates one mapped kernel on \p Model.
 KernelSim simulateKernel(const MappedKernel &M, const GpuModel &Model);

@@ -49,8 +49,10 @@ bool pinj::isVectorizableAccess(const AccessStrides &A, unsigned Iter,
 
 unsigned pinj::bestVectorWidth(const Statement &S,
                                const std::vector<AccessStrides> &Strides,
-                               unsigned Iter) {
+                               unsigned Iter, unsigned MaxWidth) {
   for (unsigned Width : {4u, 2u}) {
+    if (Width > MaxWidth)
+      continue; // Above the configured cap (autotuner knob).
     if (S.Extents[Iter] % Width != 0)
       continue; // Condition (b): size must divide into vectors.
     // Condition (c): as many accesses as possible, at least the write or

@@ -60,10 +60,12 @@ bool isVectorizableAccess(const AccessStrides &A, unsigned Iter,
 /// The widest vector width in {4, 2} usable for statement \p S on
 /// iterator \p Iter: the extent must be divisible by the width
 /// (condition (b)) and at least one access must be vectorizable
-/// (condition (c)). \returns 0 when vectorization is not possible.
+/// (condition (c)). Widths above \p MaxWidth are not considered (the
+/// autotuner's vector-width cap; a cap below 2 disables vectorization).
+/// \returns 0 when vectorization is not possible.
 unsigned bestVectorWidth(const Statement &S,
                          const std::vector<AccessStrides> &Strides,
-                         unsigned Iter);
+                         unsigned Iter, unsigned MaxWidth = 4);
 
 } // namespace pinj
 

@@ -12,7 +12,7 @@ using namespace pinj;
 double pinj::dimensionCost(const Statement &S,
                            const std::vector<AccessStrides> &Strides,
                            unsigned Iter, bool Innermost, Int ThreadLimit,
-                           const CostWeights &W) {
+                           const CostWeights &W, unsigned MaxVectorWidth) {
   static obs::Counter &CostEvals =
       obs::metrics().counter("influence.cost_evals");
   CostEvals.inc();
@@ -20,7 +20,7 @@ double pinj::dimensionCost(const Statement &S,
 
   // Vector terms |V_w| and |V_r|: only for the innermost position.
   if (Innermost) {
-    unsigned Width = bestVectorWidth(S, Strides, Iter);
+    unsigned Width = bestVectorWidth(S, Strides, Iter, MaxVectorWidth);
     if (Width != 0) {
       unsigned VectorStores = 0, VectorLoads = 0;
       for (const AccessStrides &A : Strides) {
@@ -82,9 +82,11 @@ DimScenario completeScenario(const Kernel &K, unsigned Stmt,
   Scenario.Inner = {Innermost};
   Scenario.InnerCost =
       dimensionCost(S, Strides, Innermost, /*Innermost=*/true,
-                    Options.ThreadLimit, Options.Weights);
+                    Options.ThreadLimit, Options.Weights,
+                    Options.MaxVectorWidth);
   Scenario.Score = Scenario.InnerCost;
-  Scenario.VectorWidth = bestVectorWidth(S, Strides, Innermost);
+  Scenario.VectorWidth =
+      bestVectorWidth(S, Strides, Innermost, Options.MaxVectorWidth);
 
   Int L = std::max<Int>(1, Options.ThreadLimit / S.Extents[Innermost]);
   unsigned MaxLen = std::min<unsigned>(Options.MaxInnerDims, S.numIters());
@@ -96,7 +98,7 @@ DimScenario completeScenario(const Kernel &K, unsigned Stmt,
           Scenario.Inner.end())
         continue;
       double Cost = dimensionCost(S, Strides, D, /*Innermost=*/false, L,
-                                  Options.Weights);
+                                  Options.Weights, Options.MaxVectorWidth);
       // Ties prefer the later iterator (the original inner loop).
       if (Cost >= BestCost) {
         BestCost = Cost;
@@ -123,7 +125,8 @@ DimScenario pinj::buildBestScenario(const Kernel &K, unsigned Stmt,
   unsigned Best = 0;
   for (unsigned D = 0, E = S.numIters(); D != E; ++D) {
     double Cost = dimensionCost(S, Strides, D, /*Innermost=*/true,
-                                Options.ThreadLimit, Options.Weights);
+                                Options.ThreadLimit, Options.Weights,
+                                Options.MaxVectorWidth);
     if (Cost >= BestCost) {
       BestCost = Cost;
       Best = D;

@@ -40,6 +40,11 @@ struct InfluenceOptions {
   Int ThreadLimit = 1024;     ///< L in Algorithm 2.
   unsigned MaxScenarios = 8;  ///< "few of the most profitable" (paper: 8).
   unsigned MaxInnerDims = 3;  ///< |I_s| bound in Algorithm 2.
+  /// Widest explicit vector type scenarios may prepare (4, 2, or 1 to
+  /// disable vector preparation entirely). The paper always allows
+  /// float4; the autotuner searches over this cap because replayed
+  /// (strided) lanes can make narrower or scalar accesses faster.
+  unsigned MaxVectorWidth = 4;
 };
 
 /// One influenced dimension scenario for one statement: the tail of the
@@ -59,10 +64,12 @@ struct DimScenario {
 /// statement \p S at the next position (innermost when \p Innermost).
 /// \p Chosen holds iterators already placed (excluded from strides'
 /// "remaining" consideration only through not being candidates).
+/// \p MaxVectorWidth caps the vector width the |V_w|/|V_r| terms may
+/// assume (see InfluenceOptions::MaxVectorWidth).
 double dimensionCost(const Statement &S,
                      const std::vector<AccessStrides> &Strides,
                      unsigned Iter, bool Innermost, Int ThreadLimit,
-                     const CostWeights &W);
+                     const CostWeights &W, unsigned MaxVectorWidth = 4);
 
 /// Algorithm 2 for one statement: the greedy best scenario.
 DimScenario buildBestScenario(const Kernel &K, unsigned Stmt,

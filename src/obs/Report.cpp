@@ -39,6 +39,16 @@ std::string ReportSink::json() const {
     Out += Op.Validated ? "true" : "false";
     Out += ",\"cache_hit\":";
     Out += Op.CacheHit ? "true" : "false";
+    Out += ",\"tuned\":";
+    Out += Op.Tuned ? "true" : "false";
+    if (Op.Tuned) {
+      Out += ",\"tuning\":{\"encoding\":\"" + json::escape(Op.TuneEncoding) +
+             '"';
+      Out += ",\"predicted_us\":" + json::number(Op.TunePredictedUs);
+      Out += ",\"from_db\":";
+      Out += Op.TuneFromDb ? "true" : "false";
+      Out += ",\"strategy\":\"" + json::escape(Op.TuneStrategy) + "\"}";
+    }
     Out += ",\"configs\":[";
     bool FirstCfg = true;
     for (const ConfigRecord &C : Op.Configs) {

@@ -52,6 +52,13 @@ struct OperatorRecord {
   /// Scheduling was skipped because the compilation cache held this
   /// operator (service/Cache.h).
   bool CacheHit = false;
+  /// An autotuning hook chose this operator's pipeline options; the
+  /// Tune* fields record the winning candidate (tune/Autotuner.h).
+  bool Tuned = false;
+  std::string TuneEncoding;  ///< Canonical candidate, or "baseline".
+  double TunePredictedUs = 0;
+  bool TuneFromDb = false;   ///< Replayed from the tuning database.
+  std::string TuneStrategy;  ///< "exhaustive", "greedy", "anneal".
   std::vector<ConfigRecord> Configs;
   std::vector<DegradationRecord> Degradations;
   MetricsSnapshot Metrics; ///< Whole-operator delta.

@@ -12,12 +12,7 @@
 
 using namespace pinj;
 
-namespace {
-
-/// True if the schedule can be generated and simulated by the backend:
-/// unit/constant rows only, and statements sharing a loop dimension
-/// agree on its extent.
-bool backendAccepts(const Kernel &K, const Schedule &S) {
+bool pinj::isSimulatableSchedule(const Kernel &K, const Schedule &S) {
   if (!isGeneratableSchedule(K, S))
     return false;
   for (unsigned D = 0, ND = S.numDims(); D != ND; ++D) {
@@ -33,6 +28,12 @@ bool backendAccepts(const Kernel &K, const Schedule &S) {
     }
   }
   return true;
+}
+
+namespace {
+
+bool backendAccepts(const Kernel &K, const Schedule &S) {
+  return isSimulatableSchedule(K, S);
 }
 
 bool sameTransforms(const Schedule &A, const Schedule &B) {
@@ -62,6 +63,27 @@ std::string pinj::renderCuda(const Kernel &K, const Schedule &S,
 
 OperatorReport pinj::runOperator(const Kernel &K,
                                  const PipelineOptions &Options) {
+  // Autotuning dispatch: the hook picks the options this operator runs
+  // under (possibly unchanged), and the compilation below proceeds as a
+  // plain run of those options — the cache keys on them, so tuned and
+  // untuned compilations never alias. The sink record is written here
+  // so it carries the tuning outcome.
+  if (Options.Tuner) {
+    PipelineOptions Inner = Options;
+    Inner.Tuner = nullptr;
+    Inner.Sink = nullptr;
+    TunedConfig Chosen;
+    bool Applied = Options.Tuner->tune(K, Inner, Chosen);
+    OperatorReport Report = runOperator(K, Inner);
+    if (Applied) {
+      Report.Tuned = true;
+      Report.Tuning = std::move(Chosen);
+    }
+    if (Options.Sink)
+      Options.Sink->add(toSinkRecord(Report));
+    return Report;
+  }
+
   obs::Span Op("pipeline.operator");
   if (Op.active())
     Op.arg("name", K.Name);
@@ -339,6 +361,13 @@ obs::OperatorRecord pinj::toSinkRecord(const OperatorReport &R) {
   Record.VecEligible = R.VecEligible;
   Record.Validated = R.Validated;
   Record.CacheHit = R.CacheHit;
+  Record.Tuned = R.Tuned;
+  if (R.Tuned) {
+    Record.TuneEncoding = R.Tuning.Encoding;
+    Record.TunePredictedUs = R.Tuning.PredictedTimeUs;
+    Record.TuneFromDb = R.Tuning.FromDb;
+    Record.TuneStrategy = R.Tuning.Strategy;
+  }
   for (const DegradationEvent &E : R.Degradations) {
     obs::DegradationRecord D;
     D.Config = E.Config;
@@ -388,6 +417,14 @@ std::string pinj::printStatsTable(const OperatorReport &R) {
   std::snprintf(Buf, sizeof(Buf), "%-6s %10.2f %13s (%u launches)\n", "tvm",
                 R.Tvm.TimeUs, "-", R.Tvm.Launches);
   Out += Buf;
+  if (R.Tuned) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "tuned: %s predicted %.3f us (%s, %s)\n",
+                  R.Tuning.Encoding.c_str(), R.Tuning.PredictedTimeUs,
+                  R.Tuning.FromDb ? "db" : "search",
+                  R.Tuning.Strategy.c_str());
+    Out += Buf;
+  }
   if (R.degraded()) {
     std::snprintf(Buf, sizeof(Buf), "degradations: %zu\n",
                   R.Degradations.size());

@@ -63,6 +63,42 @@ public:
                      const CachedCompilation &Entry) = 0;
 };
 
+/// The configuration an autotuning hook chose for one operator, as the
+/// pipeline reports it (schedule results carry it into the stats table
+/// and the JSON sidecar).
+struct TunedConfig {
+  /// Canonical candidate encoding (tune/SearchSpace.h), or "baseline"
+  /// when the paper-default options won the search.
+  std::string Encoding;
+  /// The winner's simulated infl-configuration kernel time.
+  double PredictedTimeUs = 0;
+  /// The config was replayed from the tuning database; no search ran.
+  bool FromDb = false;
+  /// The search strategy that produced the entry ("exhaustive",
+  /// "greedy", "anneal").
+  std::string Strategy;
+};
+
+/// The pipeline-side autotuning interface, the analogue of
+/// CompilationCacheHook one phase earlier: consulted before anything
+/// else runs, it may rewrite the pipeline tunables for this operator.
+/// Implemented by tune::Autotuner (search over the simulated cost
+/// model, persisted in a tuning database); defined here so pipeline/
+/// stays below tune/. Must be thread-safe: the batch compiler invokes
+/// it from concurrent workers.
+class TuningHook {
+public:
+  virtual ~TuningHook() = default;
+
+  /// Chooses tuned options for \p K. \p Tuned enters as a copy of the
+  /// pipeline options with the Tuner/Sink hooks cleared; on a true
+  /// return the pipeline runs \p K under the (possibly rewritten)
+  /// \p Tuned and reports \p Out. Returning false runs the operator
+  /// unchanged with no tuning record.
+  virtual bool tune(const Kernel &K, PipelineOptions &Tuned,
+                    TunedConfig &Out) = 0;
+};
+
 /// All pipeline tunables in one place.
 struct PipelineOptions {
   SchedulerOptions Sched;
@@ -86,6 +122,10 @@ struct PipelineOptions {
   /// replays the cached schedules on a hit (simulation still runs);
   /// degradation-free misses are stored back. Not part of the cache key.
   CompilationCacheHook *Cache = nullptr;
+  /// When set, runOperator consults the hook first and runs the
+  /// operator under the tuned options it chooses (the cache, if any,
+  /// then keys on the tuned options). Not part of the cache key.
+  TuningHook *Tuner = nullptr;
 };
 
 /// Result of one configuration of one operator.
@@ -137,6 +177,10 @@ struct OperatorReport {
   /// The scheduling phase was skipped because the compilation cache
   /// already held this operator's schedules (see PipelineOptions::Cache).
   bool CacheHit = false;
+  /// A TuningHook chose the options this report was produced under;
+  /// Tuning records what it picked.
+  bool Tuned = false;
+  TunedConfig Tuning;
 
   bool degraded() const { return !Degradations.empty(); }
   /// Whole-operator pipeline metrics delta (covers all configurations,
@@ -155,6 +199,12 @@ SchedulerResult scheduleInfluenced(const Kernel &K,
 /// The CUDA-like rendering of a scheduled kernel.
 std::string renderCuda(const Kernel &K, const Schedule &S,
                        const GpuMappingOptions &Mapping);
+
+/// True if the backend can generate and simulate \p S on \p K:
+/// unit/constant rows only, and statements sharing a loop dimension
+/// agree on its extent. The autotuner's evaluator uses it to mirror the
+/// pipeline's fallback decisions exactly.
+bool isSimulatableSchedule(const Kernel &K, const Schedule &S);
 
 /// A compact per-configuration stats table for one operator report:
 /// time, transactions, ILP solves/nodes, simplex pivots, fallbacks.

@@ -113,7 +113,8 @@ Fingerprint service::fingerprintKernel(const Kernel &K) {
 
 std::uint64_t service::fingerprintOptions(const PipelineOptions &O) {
   FingerprintBuilder H;
-  H.str("pinj-options-v1");
+  // v2: InfluenceOptions::MaxVectorWidth joined the hashed shape.
+  H.str("pinj-options-v2");
   // SchedulerOptions.
   H.i64(O.Sched.CoeffBound);
   H.i64(O.Sched.ConstBound);
@@ -133,6 +134,7 @@ std::uint64_t service::fingerprintOptions(const PipelineOptions &O) {
   H.i64(O.Influence.ThreadLimit);
   H.u32(O.Influence.MaxScenarios);
   H.u32(O.Influence.MaxInnerDims);
+  H.u32(O.Influence.MaxVectorWidth);
   // GPU mapping + machine model (the model feeds vector-width choices
   // through the influence cost, so it is compilation-relevant).
   H.i64(O.Mapping.MaxThreadsPerBlock);

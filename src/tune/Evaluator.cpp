@@ -1,0 +1,159 @@
+//===- tune/Evaluator.cpp -------------------------------------------------===//
+
+#include "tune/Evaluator.h"
+
+#include "codegen/Mapping.h"
+#include "codegen/Vectorizer.h"
+#include "lp/Budget.h"
+#include "obs/Metrics.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace pinj;
+using namespace pinj::tune;
+
+double tune::predictInflTimeUs(const Kernel &K, const PipelineOptions &O) {
+  try {
+    // Mirror runOperator's operator-wide budget; anyTripped() below then
+    // sees both this scope and any caller-installed candidate scope.
+    budget::BudgetScope OpBudget(O.Budget);
+
+    Schedule InflSched;
+    bool Fallback = false;
+    try {
+      SchedulerResult InflRun = scheduleInfluenced(K, O);
+      if (!InflRun.Outcome.ok())
+        Fallback = true;
+      else
+        InflSched = InflRun.Sched;
+    } catch (const RecoverableError &) {
+      Fallback = true;
+    }
+    if (!Fallback && !isSimulatableSchedule(K, InflSched))
+      Fallback = true; // Fusion the backend rejects; runOperator falls
+                       // back to the reference schedule.
+    if (Fallback) {
+      SchedulerOptions IslOptions = O.Sched;
+      IslOptions.SerializeSccs = true;
+      SchedulerResult IslRun = scheduleKernel(K, IslOptions);
+      if (!IslRun.Outcome.ok())
+        return failedScore();
+      InflSched = IslRun.Sched;
+      if (!isSimulatableSchedule(K, InflSched))
+        return failedScore();
+    }
+
+    try {
+      finalizeVectorMarks(K, InflSched, /*DisableVectorization=*/false);
+    } catch (const RecoverableError &) {
+      return failedScore();
+    }
+    if (!isSimulatableSchedule(K, InflSched))
+      return failedScore();
+
+    // A budget shaped this run; the un-tripped pipeline would produce a
+    // different schedule, so the score would be for the wrong config.
+    if (budget::anyTripped())
+      return failedScore();
+
+    MappedKernel M = mapToGpu(K, InflSched, O.Mapping);
+    return simulateKernel(M, O.Gpu).TimeUs;
+  } catch (const RecoverableError &) {
+    return failedScore();
+  }
+}
+
+Evaluator::Evaluator(const Kernel &K, const PipelineOptions &Base,
+                     const SearchSpace &Space, Config Cfg)
+    : K(K), Base(Base), Space(Space), Cfg(Cfg) {
+  // The evaluator owns its copies of the hooks' absence: candidates are
+  // scored outside the pipeline, so downstream hooks must not fire.
+  this->Base.Sink = nullptr;
+  this->Base.Cache = nullptr;
+  this->Base.Tuner = nullptr;
+  if (this->Cfg.Jobs == 0)
+    this->Cfg.Jobs = 1;
+}
+
+double Evaluator::scoreOne(const Candidate &C) const {
+  PipelineOptions O = Base;
+  Space.apply(C, O);
+  budget::BudgetScope Isolation(Cfg.CandidateBudget);
+  return predictInflTimeUs(K, O);
+}
+
+double Evaluator::baseline() {
+  if (!HaveBaseline) {
+    budget::BudgetScope Isolation(Cfg.CandidateBudget);
+    BaselineScore = predictInflTimeUs(K, Base);
+    HaveBaseline = true;
+  }
+  return BaselineScore;
+}
+
+std::vector<double> Evaluator::evaluate(const std::vector<Candidate> &Batch) {
+  static obs::Counter &Evaluated = obs::metrics().counter("tune.evaluations");
+  static obs::Counter &Failures =
+      obs::metrics().counter("tune.candidate_failures");
+
+  std::vector<double> Out(Batch.size(), failedScore());
+
+  // Collect the unique, uncached candidates in batch order, up to the
+  // remaining evaluation budget; everything else resolves from the memo
+  // or stays failedScore().
+  std::vector<Candidate> Fresh;
+  std::map<Candidate, std::size_t> FreshIndex;
+  for (const Candidate &C : Batch) {
+    if (Memo.count(C) || FreshIndex.count(C))
+      continue;
+    if (Fresh.size() >= remaining())
+      break;
+    FreshIndex.emplace(C, Fresh.size());
+    Fresh.push_back(C);
+  }
+
+  // Score the fresh candidates on the worker pool. Workers only write
+  // disjoint Scores slots; the memo is filled after the join, so no
+  // locking is needed and results are independent of the worker count.
+  std::vector<double> Scores(Fresh.size(), failedScore());
+  if (!Fresh.empty()) {
+    unsigned Workers = static_cast<unsigned>(
+        std::min<std::size_t>(Cfg.Jobs, Fresh.size()));
+    if (Workers <= 1) {
+      for (std::size_t I = 0; I < Fresh.size(); ++I)
+        Scores[I] = scoreOne(Fresh[I]);
+    } else {
+      std::atomic<std::size_t> Next{0};
+      auto Work = [&] {
+        for (;;) {
+          std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+          if (I >= Fresh.size())
+            return;
+          Scores[I] = scoreOne(Fresh[I]);
+        }
+      };
+      std::vector<std::thread> Pool;
+      Pool.reserve(Workers);
+      for (unsigned W = 0; W < Workers; ++W)
+        Pool.emplace_back(Work);
+      for (std::thread &T : Pool)
+        T.join();
+    }
+    for (std::size_t I = 0; I < Fresh.size(); ++I) {
+      Memo.emplace(Fresh[I], Scores[I]);
+      if (Scores[I] == failedScore())
+        Failures.inc();
+    }
+    Evals += Fresh.size();
+    Evaluated.add(Fresh.size());
+  }
+
+  for (std::size_t I = 0; I < Batch.size(); ++I) {
+    auto It = Memo.find(Batch[I]);
+    if (It != Memo.end())
+      Out[I] = It->second;
+  }
+  return Out;
+}

@@ -1,0 +1,103 @@
+//===- tune/Evaluator.h - Parallel candidate evaluation ---------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scores tuning candidates by the simulated infl-configuration kernel
+/// time. Each evaluation replays the pipeline's own decisions — the
+/// influenced scheduler, its isl fallback, vector finalization, GPU
+/// mapping and the warp simulator — under a per-candidate solver budget
+/// so one pathological candidate cannot stall the search. Batches run
+/// on a worker pool (the service::BatchCompiler atomic-index pattern);
+/// scores are analytic, so the result is identical for any worker
+/// count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_TUNE_EVALUATOR_H
+#define POLYINJECT_TUNE_EVALUATOR_H
+
+#include "lp/Budget.h"
+#include "tune/SearchSpace.h"
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace pinj {
+namespace tune {
+
+/// The score of a candidate that failed to produce a simulatable
+/// schedule (or tripped its budget): never selected.
+inline double failedScore() {
+  return std::numeric_limits<double>::infinity();
+}
+
+class Evaluator {
+public:
+  struct Config {
+    /// Worker threads for batch evaluation. Scores do not depend on it.
+    unsigned Jobs = 1;
+    /// Per-candidate resource isolation, installed around each
+    /// evaluation (nested inside the candidate's own scheduling
+    /// budget). Deterministic work counts only — a wall-clock cap here
+    /// would make the chosen config depend on machine load.
+    SolverBudget CandidateBudget{/*MaxPivots=*/2000000,
+                                 /*MaxIlpNodes=*/200000,
+                                 /*WallMs=*/0};
+    /// Unique candidate evaluations allowed (the --tune-budget). The
+    /// baseline evaluation is free: the never-worse guarantee must not
+    /// compete with the search for budget.
+    std::size_t MaxEvaluations = 64;
+  };
+
+  Evaluator(const Kernel &K, const PipelineOptions &Base,
+            const SearchSpace &Space, Config Cfg);
+
+  const PipelineOptions &base() const { return Base; }
+  unsigned jobs() const { return Cfg.Jobs; }
+
+  /// The score of the unmodified base options (memoized).
+  double baseline();
+
+  /// Scores for each candidate of \p Batch, memoized across calls.
+  /// Candidates beyond the remaining evaluation budget score
+  /// failedScore() without being evaluated (and stay unmemoized).
+  std::vector<double> evaluate(const std::vector<Candidate> &Batch);
+
+  /// Unique candidate evaluations performed so far.
+  std::size_t evaluations() const { return Evals; }
+  std::size_t remaining() const {
+    return Evals >= Cfg.MaxEvaluations ? 0 : Cfg.MaxEvaluations - Evals;
+  }
+
+private:
+  double scoreOne(const Candidate &C) const;
+
+  const Kernel &K;
+  PipelineOptions Base;
+  const SearchSpace &Space;
+  Config Cfg;
+  std::map<Candidate, double> Memo;
+  double BaselineScore = 0;
+  bool HaveBaseline = false;
+  std::size_t Evals = 0;
+};
+
+/// The scoring primitive: the simulated kernel time of \p K's infl
+/// configuration under \p O, mirroring runOperator exactly — influenced
+/// scheduling, fallback to serialized-SCC isl scheduling when that
+/// fails or is not simulatable, vector-mark finalization, GPU mapping,
+/// warp simulation. \returns failedScore() when no simulatable schedule
+/// results or any solver budget tripped (a tripped run's schedule is
+/// not what the un-tripped pipeline would produce).
+double predictInflTimeUs(const Kernel &K, const PipelineOptions &O);
+
+} // namespace tune
+} // namespace pinj
+
+#endif // POLYINJECT_TUNE_EVALUATOR_H

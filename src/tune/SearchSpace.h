@@ -1,0 +1,109 @@
+//===- tune/SearchSpace.h - Declarative tuning parameter space --*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The autotuner's search space: a declarative list of PipelineOptions
+/// knobs, each with the ordered set of values it may take. A candidate
+/// is one value index per dimension; the space enumerates candidates,
+/// generates hill-climbing neighbors, applies candidates to options,
+/// and round-trips a canonical textual encoding (the form the tuning
+/// database persists and the sidecar reports).
+///
+/// The paper fixes every one of these knobs (Section V's hand-tuned
+/// cost() plus one GPU mapping shape); the tuner searches them against
+/// the simulated cost model instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_TUNE_SEARCHSPACE_H
+#define POLYINJECT_TUNE_SEARCHSPACE_H
+
+#include "pipeline/Pipeline.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinj {
+namespace tune {
+
+/// One searchable knob. Values[0] is the preferred value on score ties
+/// (candidates compare lexicographically by index vector), so each list
+/// leads with the paper default.
+struct ParamDim {
+  std::string Name;
+  std::vector<std::int64_t> Values;
+  /// Reads the knob's current value from a set of options (used to
+  /// project the baseline options into the space).
+  std::int64_t (*Read)(const PipelineOptions &);
+  /// Writes value \p V into the options.
+  void (*Apply)(PipelineOptions &, std::int64_t);
+};
+
+/// A candidate: one value index per space dimension.
+using Candidate = std::vector<unsigned>;
+
+class SearchSpace {
+public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<ParamDim> Dims);
+
+  const std::vector<ParamDim> &dims() const { return Dims; }
+  bool empty() const { return Dims.empty(); }
+
+  /// Number of candidates (product of dimension sizes; 0 when empty).
+  std::size_t size() const;
+
+  /// The \p Index-th candidate in canonical enumeration order
+  /// (mixed-radix, dimension 0 most significant). \p Index < size().
+  Candidate candidateAt(std::size_t Index) const;
+
+  /// Projects \p Base into the space: per dimension the index of the
+  /// base options' current value, or 0 when that value is not listed.
+  /// The hill-climbing strategies start here.
+  Candidate project(const PipelineOptions &Base) const;
+
+  /// All candidates differing from \p C by one step in one dimension.
+  std::vector<Candidate> neighbors(const Candidate &C) const;
+
+  /// Canonical encoding: "name=value,..." over all dimensions in order.
+  std::string encode(const Candidate &C) const;
+
+  /// Parses encode() output. \returns false on any mismatch with the
+  /// current space shape (unknown name, missing dimension, value not in
+  /// the list) — a stale database entry must re-search, never misapply.
+  bool decode(const std::string &Text, Candidate &Out) const;
+
+  /// Applies candidate \p C's values onto \p O.
+  void apply(const Candidate &C, PipelineOptions &O) const;
+
+  /// 32-hex structural signature over dimension names and value lists;
+  /// tuning-database entries recorded under a different signature are
+  /// stale.
+  std::string signature() const;
+
+private:
+  std::vector<ParamDim> Dims;
+};
+
+/// The production space: vector-width cap, influence thread limit,
+/// scenario count/depth, GPU block/thread budget, proximity-input
+/// toggle and solver-budget tiers (~1.7k candidates).
+SearchSpace defaultSearchSpace();
+
+/// A 4-candidate space (vector-width cap x thread budget) for smoke
+/// tests: exhaustive search finishes in seconds on any operator.
+SearchSpace tinySearchSpace();
+
+/// Resolves a space by name ("default", "tiny"); empty space for
+/// unknown names.
+SearchSpace searchSpaceByName(const std::string &Name);
+
+} // namespace tune
+} // namespace pinj
+
+#endif // POLYINJECT_TUNE_SEARCHSPACE_H

@@ -1,0 +1,172 @@
+//===- tune/Strategy.cpp --------------------------------------------------===//
+
+#include "tune/Strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pinj;
+using namespace pinj::tune;
+
+bool tune::improves(const ScoredCandidate &A, const ScoredCandidate &B) {
+  if (A.TimeUs != B.TimeUs)
+    return A.TimeUs < B.TimeUs;
+  return A.C < B.C;
+}
+
+namespace {
+
+/// Folds a batch of scored candidates into the running best.
+void takeBest(std::optional<ScoredCandidate> &Best,
+              const std::vector<Candidate> &Batch,
+              const std::vector<double> &Scores) {
+  for (std::size_t I = 0; I < Batch.size(); ++I) {
+    if (Scores[I] == failedScore())
+      continue;
+    ScoredCandidate S{Batch[I], Scores[I]};
+    if (!Best || improves(S, *Best))
+      Best = std::move(S);
+  }
+}
+
+class ExhaustiveStrategy final : public Strategy {
+public:
+  const char *name() const override { return "exhaustive"; }
+
+  std::optional<ScoredCandidate> run(const SearchSpace &Space,
+                                     Evaluator &Eval,
+                                     std::uint64_t) const override {
+    std::optional<ScoredCandidate> Best;
+    std::size_t Total = Space.size();
+    std::size_t ChunkSize =
+        std::max<std::size_t>(16, std::size_t(Eval.jobs()) * 4);
+    for (std::size_t At = 0; At < Total && Eval.remaining() > 0;) {
+      std::vector<Candidate> Batch;
+      std::size_t End =
+          std::min(Total, At + std::min(ChunkSize, Eval.remaining()));
+      for (; At < End; ++At)
+        Batch.push_back(Space.candidateAt(At));
+      takeBest(Best, Batch, Eval.evaluate(Batch));
+    }
+    return Best;
+  }
+};
+
+class GreedyStrategy final : public Strategy {
+public:
+  const char *name() const override { return "greedy"; }
+
+  std::optional<ScoredCandidate> run(const SearchSpace &Space,
+                                     Evaluator &Eval,
+                                     std::uint64_t) const override {
+    // Hill-climb from the baseline's projection: evaluate all one-step
+    // neighbors, move to the best improving one, repeat until a local
+    // optimum or the budget runs out.
+    Candidate Start = Space.project(Eval.base());
+    std::vector<double> StartScore = Eval.evaluate({Start});
+    std::optional<ScoredCandidate> Best;
+    takeBest(Best, {Start}, StartScore);
+    std::optional<ScoredCandidate> At = Best;
+    while (Eval.remaining() > 0) {
+      std::vector<Candidate> Ring = Space.neighbors(At ? At->C : Start);
+      if (Ring.empty())
+        break;
+      std::optional<ScoredCandidate> BestNeighbor;
+      takeBest(BestNeighbor, Ring, Eval.evaluate(Ring));
+      if (BestNeighbor && (!Best || improves(*BestNeighbor, *Best)))
+        Best = BestNeighbor;
+      if (!BestNeighbor || (At && !improves(*BestNeighbor, *At)))
+        break; // Local optimum.
+      At = BestNeighbor;
+    }
+    return Best;
+  }
+};
+
+/// xorshift64: tiny, seedable, identical everywhere.
+struct XorShift64 {
+  std::uint64_t State;
+  explicit XorShift64(std::uint64_t Seed)
+      : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  double uniform() { // [0, 1)
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+};
+
+class AnnealStrategy final : public Strategy {
+public:
+  const char *name() const override { return "anneal"; }
+
+  std::optional<ScoredCandidate> run(const SearchSpace &Space,
+                                     Evaluator &Eval,
+                                     std::uint64_t Seed) const override {
+    bool HasMoves = false;
+    for (const ParamDim &D : Space.dims())
+      HasMoves |= D.Values.size() > 1;
+
+    Candidate Cur = Space.project(Eval.base());
+    std::optional<ScoredCandidate> Best;
+    std::vector<double> First = Eval.evaluate({Cur});
+    takeBest(Best, {Cur}, First);
+    if (!HasMoves)
+      return Best;
+
+    XorShift64 Rng(Seed);
+    double CurScore = First[0];
+    // Relative temperature: acceptance depends on score ratios, so the
+    // walk behaves the same at microsecond and millisecond scales.
+    double Temp = 0.25;
+    // Proposal cap: memoized revisits cost no evaluation budget, so a
+    // converged walk needs its own bound to terminate.
+    std::size_t Proposals = 8 * Eval.remaining() + 64;
+    while (Eval.remaining() > 0 && Proposals-- > 0) {
+      std::size_t D = Rng.next() % Space.dims().size();
+      std::size_t Size = Space.dims()[D].Values.size();
+      if (Size < 2)
+        continue;
+      Candidate Next = Cur;
+      std::size_t Step = Rng.next() & 1 ? 1 : Size - 1; // +-1 with wrap.
+      Next[D] = static_cast<unsigned>((Next[D] + Step) % Size);
+
+      double Score = Eval.evaluate({Next})[0];
+      takeBest(Best, {Next}, {Score});
+      bool Accept = false;
+      if (Score != failedScore()) {
+        if (Score <= CurScore || CurScore == failedScore())
+          Accept = true;
+        else {
+          double Scale = std::max(CurScore, 1e-9) * Temp;
+          Accept = Rng.uniform() < std::exp(-(Score - CurScore) / Scale);
+        }
+      }
+      if (Accept) {
+        Cur = std::move(Next);
+        CurScore = Score;
+      }
+      Temp *= 0.97;
+    }
+    return Best;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Strategy> tune::makeStrategy(const std::string &Name) {
+  if (Name == "exhaustive")
+    return std::make_unique<ExhaustiveStrategy>();
+  if (Name == "greedy")
+    return std::make_unique<GreedyStrategy>();
+  if (Name == "anneal")
+    return std::make_unique<AnnealStrategy>();
+  return nullptr;
+}
+
+std::vector<std::string> tune::strategyNames() {
+  return {"exhaustive", "greedy", "anneal"};
+}

@@ -1,0 +1,69 @@
+//===- tune/Strategy.h - Pluggable search strategies ------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Search drivers over a SearchSpace: exhaustive grid enumeration,
+/// greedy hill climbing from the baseline projection, and seeded
+/// simulated annealing. All strategies are deterministic for a fixed
+/// seed — evaluation scores are analytic, candidate order is fixed, and
+/// score ties break toward the lexicographically smallest index vector
+/// (which prefers paper-default values, listed first per dimension) —
+/// so the chosen config is identical at --jobs=1 and --jobs=8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_TUNE_STRATEGY_H
+#define POLYINJECT_TUNE_STRATEGY_H
+
+#include "tune/Evaluator.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pinj {
+namespace tune {
+
+struct ScoredCandidate {
+  Candidate C;
+  double TimeUs = 0;
+};
+
+/// True when \p A should be preferred over \p B: strictly better score,
+/// or an equal score with a lexicographically smaller index vector.
+/// Every strategy uses this one ordering so results are reproducible.
+bool improves(const ScoredCandidate &A, const ScoredCandidate &B);
+
+/// A search driver. Implementations hold no per-run state, so one
+/// instance may serve concurrent tune() calls (the batch compiler's
+/// workers share an Autotuner).
+class Strategy {
+public:
+  virtual ~Strategy() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Searches \p Space within \p Eval's evaluation budget. \returns the
+  /// best finite-scoring candidate evaluated, or nothing when every
+  /// evaluated candidate failed. \p Seed feeds stochastic strategies;
+  /// deterministic ones ignore it.
+  virtual std::optional<ScoredCandidate>
+  run(const SearchSpace &Space, Evaluator &Eval, std::uint64_t Seed) const = 0;
+};
+
+/// Resolves "exhaustive", "greedy" or "anneal"; nullptr for anything
+/// else.
+std::unique_ptr<Strategy> makeStrategy(const std::string &Name);
+
+/// The names makeStrategy accepts, for CLI help and validation.
+std::vector<std::string> strategyNames();
+
+} // namespace tune
+} // namespace pinj
+
+#endif // POLYINJECT_TUNE_STRATEGY_H

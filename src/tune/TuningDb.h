@@ -1,0 +1,90 @@
+//===- tune/TuningDb.h - Persistent best-config store -----------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tuning database: winning configurations keyed by the compilation
+/// service's request fingerprint, persisted in one versioned text file
+/// so a warm run replays tuned configs without re-searching. The disk
+/// contract mirrors service/Cache.h: a versioned header, entries
+/// revalidated on load (space signature, length-prefixed payload),
+/// rename-atomic writes, and corrupt entries counted and skipped —
+/// a damaged database costs re-searches, never errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_TUNE_TUNINGDB_H
+#define POLYINJECT_TUNE_TUNINGDB_H
+
+#include "service/Fingerprint.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pinj {
+namespace tune {
+
+/// One persisted tuning decision.
+struct DbEntry {
+  /// Canonical candidate encoding (SearchSpace::encode), or "baseline".
+  std::string Encoding;
+  /// The winner's simulated infl-configuration time.
+  double PredictedTimeUs = 0;
+  /// The strategy that produced the entry.
+  std::string Strategy;
+  /// SearchSpace::signature() at store time; a lookup under a different
+  /// space shape must not replay the entry.
+  std::string SpaceSignature;
+};
+
+/// Thread-safe persistent map from request fingerprint to DbEntry.
+class TuningDb {
+public:
+  struct Stats {
+    std::uint64_t Hits = 0;    ///< lookup() found a usable entry.
+    std::uint64_t Misses = 0;  ///< lookup() found nothing.
+    std::uint64_t Rejects = 0; ///< Corrupt/stale on-disk data skipped.
+    std::uint64_t Stores = 0;  ///< store() calls (rewrites the file).
+  };
+
+  /// Binds the database to \p Path and loads it. A missing file is an
+  /// empty database; a corrupt one yields whatever entries survive
+  /// validation, with the damage counted on Stats::Rejects and the
+  /// tune.db_rejects counter.
+  explicit TuningDb(std::string Path);
+
+  /// In-memory database (no file; store() keeps entries but writes
+  /// nothing).
+  TuningDb() = default;
+
+  /// \returns true and fills \p Out when \p Key has an entry.
+  bool lookup(const service::Fingerprint &Key, DbEntry &Out);
+
+  /// Inserts or replaces \p Key's entry and, when a path is bound,
+  /// rewrites the file atomically (write temp, rename). Write failures
+  /// are counted on tune.db_write_errors; the in-memory entry survives.
+  void store(const service::Fingerprint &Key, const DbEntry &E);
+
+  Stats stats() const;
+  std::size_t size() const;
+  const std::string &path() const { return Path; }
+
+private:
+  void loadLocked();
+  void saveLocked();
+
+  std::string Path;
+  mutable std::mutex Mu;
+  std::map<service::Fingerprint, DbEntry> Entries;
+  Stats St;
+};
+
+} // namespace tune
+} // namespace pinj
+
+#endif // POLYINJECT_TUNE_TUNINGDB_H

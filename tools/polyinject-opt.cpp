@@ -18,6 +18,21 @@
 //     --metrics-json=FILE               write the per-operator metrics
 //                                       sidecar
 //     --stats                           print the process metrics table
+//     --gpu=PRESET                      GPU model preset (v100, a100,
+//                                       p100; default v100)
+//
+// Autotuning (tune/Autotuner.h — search pipeline knobs against the
+// simulated cost model; never selects a config the model scores worse
+// than the default):
+//     --autotune=STRATEGY               exhaustive|greedy|anneal
+//     --tune-budget=N                   candidate evaluations per
+//                                       operator (default 64)
+//     --tune-seed=N                     seed for stochastic strategies
+//                                       (default 1)
+//     --tune-space=NAME                 search space: default|tiny
+//     --tuning-db=FILE                  persistent winning-config store;
+//                                       warm runs replay without
+//                                       re-searching
 //
 // Compilation service (batch mode — entered when more than one kernel
 // file is given, or --ops-file is used):
@@ -52,6 +67,7 @@
 #include "service/BatchCompiler.h"
 #include "service/Cache.h"
 #include "support/Status.h"
+#include "tune/Autotuner.h"
 
 #include <chrono>
 #include <cstdio>
@@ -74,7 +90,9 @@ void printUsage(const char *Argv0) {
       "usage: %s [--config=isl|tvm|novec|infl|all] "
       "[--print=schedule,cuda,ast,tree,deps,sim] [--validate] "
       "[--feautrier] [--max-pivots=N] [--max-nodes=N] [--deadline-ms=X] "
-      "[--trace-json=FILE] [--metrics-json=FILE] [--stats] "
+      "[--trace-json=FILE] [--metrics-json=FILE] [--stats] [--gpu=PRESET] "
+      "[--autotune=exhaustive|greedy|anneal] [--tune-budget=N] "
+      "[--tune-seed=N] [--tune-space=default|tiny] [--tuning-db=FILE] "
       "[--jobs=N] [--cache-dir=PATH] [--ops-file=FILE] "
       "kernel.pinj [more.pinj ...]\n",
       Argv0);
@@ -212,13 +230,20 @@ int runBatch(const std::vector<std::string> &Paths,
       std::printf("==== tvm (per-statement launches) ====\ntime %.3f us "
                   "over %u launches\n\n",
                   R.Tvm.TimeUs, R.Tvm.Launches);
+    // tuned= shows the chosen encoding only: whether it came from the
+    // database or a fresh search can differ between workers racing on a
+    // shared database, and batch stdout must stay deterministic.
+    std::string TunedNote;
+    if (R.Tuned)
+      TunedNote = " tuned=" + R.Tuning.Encoding;
     std::printf("summary: influenced=%s vectorizable=%s "
-                "speedup(infl/isl)=%.2fx%s\n",
+                "speedup(infl/isl)=%.2fx%s%s\n",
                 R.Influenced ? "yes" : "no", R.VecEligible ? "yes" : "no",
                 R.Infl.TimeUs > 0 ? R.Isl.TimeUs / R.Infl.TimeUs : 0.0,
                 !CacheEnabled   ? ""
                 : R.CacheHit    ? " cache=hit"
-                                : " cache=miss");
+                                : " cache=miss",
+                TunedNote.c_str());
     if (R.degraded()) {
       std::printf("degradations (%zu):\n", R.Degradations.size());
       for (const DegradationEvent &E : R.Degradations)
@@ -271,6 +296,12 @@ int main(int Argc, char **Argv) {
   std::string MetricsJsonPath;
   std::string CacheDir;
   std::string OpsFilePath;
+  std::string GpuPreset;
+  std::string AutotuneStrategy;
+  std::string TuneSpaceName = "default";
+  std::string TuningDbPath;
+  std::uint64_t TuneSeed = 1;
+  std::size_t TuneBudget = 64;
   unsigned Jobs = 1;
   std::vector<std::string> Paths;
 
@@ -310,6 +341,27 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: --ops-file needs a file name\n");
         return 2;
       }
+    } else if (std::strncmp(Arg, "--gpu=", 6) == 0) {
+      GpuPreset = Arg + 6;
+    } else if (std::strncmp(Arg, "--autotune=", 11) == 0) {
+      AutotuneStrategy = Arg + 11;
+    } else if (std::strncmp(Arg, "--tune-budget=", 14) == 0) {
+      TuneBudget = std::strtoull(Arg + 14, nullptr, 10);
+      if (TuneBudget == 0) {
+        std::fprintf(stderr,
+                     "error: --tune-budget needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--tune-seed=", 12) == 0) {
+      TuneSeed = std::strtoull(Arg + 12, nullptr, 10);
+    } else if (std::strncmp(Arg, "--tune-space=", 13) == 0) {
+      TuneSpaceName = Arg + 13;
+    } else if (std::strncmp(Arg, "--tuning-db=", 12) == 0) {
+      TuningDbPath = Arg + 12;
+      if (TuningDbPath.empty()) {
+        std::fprintf(stderr, "error: --tuning-db needs a file name\n");
+        return 2;
+      }
     } else if (std::strncmp(Arg, "--trace-json=", 13) == 0) {
       TraceJsonPath = Arg + 13;
       if (TraceJsonPath.empty()) {
@@ -346,12 +398,65 @@ int main(int Argc, char **Argv) {
     Cache = std::make_unique<service::ScheduleCache>(CacheCfg);
   }
 
-  if (Paths.size() > 1 || !OpsFilePath.empty()) {
+  GpuModel Gpu;
+  if (!GpuPreset.empty()) {
+    std::optional<GpuModel> Preset = gpuModelPreset(GpuPreset);
+    if (!Preset) {
+      std::string Known;
+      for (const std::string &N : gpuModelPresetNames())
+        Known += (Known.empty() ? "" : ", ") + N;
+      std::fprintf(stderr, "error: unknown --gpu preset '%s' (known: %s)\n",
+                   GpuPreset.c_str(), Known.c_str());
+      return 2;
+    }
+    Gpu = *Preset;
+  }
+
+  bool BatchMode = Paths.size() > 1 || !OpsFilePath.empty();
+  std::unique_ptr<tune::TuningDb> Db;
+  std::unique_ptr<tune::Autotuner> Tuner;
+  if (!AutotuneStrategy.empty()) {
+    if (!tune::makeStrategy(AutotuneStrategy)) {
+      std::string Known;
+      for (const std::string &N : tune::strategyNames())
+        Known += (Known.empty() ? "" : ", ") + N;
+      std::fprintf(stderr,
+                   "error: unknown --autotune strategy '%s' (known: %s)\n",
+                   AutotuneStrategy.c_str(), Known.c_str());
+      return 2;
+    }
+    tune::SearchSpace Space = tune::searchSpaceByName(TuneSpaceName);
+    if (Space.empty()) {
+      std::fprintf(stderr,
+                   "error: unknown --tune-space '%s' (known: default, "
+                   "tiny)\n",
+                   TuneSpaceName.c_str());
+      return 2;
+    }
+    if (!TuningDbPath.empty())
+      Db = std::make_unique<tune::TuningDb>(TuningDbPath);
+    tune::Autotuner::Config TuneCfg;
+    TuneCfg.Strategy = AutotuneStrategy;
+    TuneCfg.Seed = TuneSeed;
+    TuneCfg.MaxEvaluations = TuneBudget;
+    // Batch workers already run concurrently; nest no second pool.
+    TuneCfg.Jobs = BatchMode ? 1 : Jobs;
+    TuneCfg.Space = std::move(Space);
+    TuneCfg.Db = Db.get();
+    Tuner = std::make_unique<tune::Autotuner>(std::move(TuneCfg));
+  } else if (!TuningDbPath.empty()) {
+    std::fprintf(stderr, "error: --tuning-db requires --autotune\n");
+    return 2;
+  }
+
+  if (BatchMode) {
     PipelineOptions Options;
     Options.Validate = Validate;
     Options.Sched.UseFeautrierFallback = Feautrier;
     Options.Budget = Budget;
+    Options.Gpu = Gpu;
     Options.Cache = Cache.get();
+    Options.Tuner = Tuner.get();
     return runBatch(Paths, Options, Jobs, Cache != nullptr, Artifacts,
                     ConfigArg, Stats, MetricsJsonPath);
   }
@@ -386,7 +491,9 @@ int main(int Argc, char **Argv) {
   Options.Validate = Validate;
   Options.Sched.UseFeautrierFallback = Feautrier;
   Options.Budget = Budget;
+  Options.Gpu = Gpu;
   Options.Cache = Cache.get();
+  Options.Tuner = Tuner.get();
   obs::ReportSink Sink;
   if (!MetricsJsonPath.empty() || Stats)
     Options.Sink = &Sink;
@@ -410,6 +517,11 @@ int main(int Argc, char **Argv) {
               R.Infl.TimeUs > 0 ? R.Isl.TimeUs / R.Infl.TimeUs : 0.0,
               Validate ? (R.Validated ? " validated=yes" : " validated=NO")
                        : "");
+  if (R.Tuned)
+    std::printf("tuning: %s predicted %.3f us (%s, %s)\n",
+                R.Tuning.Encoding.c_str(), R.Tuning.PredictedTimeUs,
+                R.Tuning.Strategy.c_str(),
+                R.Tuning.FromDb ? "db" : "search");
   if (R.degraded()) {
     std::printf("degradations (%zu):\n", R.Degradations.size());
     for (const DegradationEvent &E : R.Degradations)
