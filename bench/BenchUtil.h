@@ -4,6 +4,7 @@
 #define POLYINJECT_BENCH_BENCHUTIL_H
 
 #include "ops/Networks.h"
+#include "ops/OpFactory.h"
 #include "pipeline/Pipeline.h"
 
 #include <cmath>
@@ -46,6 +47,35 @@ inline SuiteResult measureSuite(const NetworkSuite &Suite,
     }
   }
   return R;
+}
+
+/// Operator families shared by the perf benchmarks: four structurally
+/// different shapes (fusable chain, hostile layout, the paper's fused
+/// tensor expression, a reduce tail) parameterized by problem size.
+inline Kernel kernelForFamily(int Family, Int N) {
+  switch (Family) {
+  case 0:
+    return makeElementwiseChain("chain", N, N - 1, 4, 1);
+  case 1:
+    return makeHostileOrderCopy("hostile", N, N, 1);
+  case 2:
+    return makeFusedMulSubMulTensorAdd(N);
+  default:
+    return makeReduceTail("reduce", N, N, 1);
+  }
+}
+
+inline const char *familyName(int Family) {
+  switch (Family) {
+  case 0:
+    return "chain";
+  case 1:
+    return "hostile";
+  case 2:
+    return "fused";
+  default:
+    return "reduce";
+  }
 }
 
 inline double geomean(const std::vector<double> &Values) {

@@ -7,8 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "influence/TreeBuilder.h"
-#include "ops/OpFactory.h"
 #include "sched/Scheduler.h"
 
 #include <benchmark/benchmark.h>
@@ -16,19 +16,6 @@
 using namespace pinj;
 
 namespace {
-
-Kernel kernelForFamily(int Family, Int N) {
-  switch (Family) {
-  case 0:
-    return makeElementwiseChain("chain", N, N - 1, 4, 1);
-  case 1:
-    return makeHostileOrderCopy("hostile", N, N, 1);
-  case 2:
-    return makeFusedMulSubMulTensorAdd(N);
-  default:
-    return makeReduceTail("reduce", N, N, 1);
-  }
-}
 
 void BM_DependenceAnalysis(benchmark::State &State) {
   Kernel K = kernelForFamily(State.range(0), State.range(1));

@@ -41,7 +41,36 @@ void IlpBuilder::truncate(unsigned NumRows, unsigned NumObjectives) {
   Objectives.resize(NumObjectives);
 }
 
-IlpResult IlpBuilder::solve() const {
+IlpBuilder::ConstraintBlock IlpBuilder::captureBlock(unsigned VarMark,
+                                                     unsigned RowMark) const {
+  assert(VarMark <= numVars() && RowMark <= Rows.size() &&
+         "capture marks beyond current size");
+  ConstraintBlock Block;
+  Block.VarBase = VarMark;
+  for (unsigned V = VarMark, E = numVars(); V != E; ++V)
+    Block.Vars.emplace_back(Names[V], static_cast<bool>(Integrality[V]));
+  for (unsigned R = RowMark, E = Rows.size(); R != E; ++R)
+    Block.Rows.emplace_back(Rows[R].Form, Rows[R].Kind);
+  return Block;
+}
+
+void IlpBuilder::replayBlock(const ConstraintBlock &Block) {
+  const unsigned NewBase = numVars();
+  for (const auto &[Name, IsInteger] : Block.Vars)
+    addVar(Name, IsInteger);
+  for (const auto &[Form, Kind] : Block.Rows) {
+    SparseForm Rebased = Form;
+    for (auto &[Var, Coeff] : Rebased.Terms) {
+      (void)Coeff;
+      if (Var >= Block.VarBase)
+        Var = Var - Block.VarBase + NewBase;
+    }
+    Rows.push_back({std::move(Rebased), Kind});
+  }
+}
+
+std::pair<IlpProblem, std::vector<LexObjective>>
+IlpBuilder::materialize() const {
   IlpProblem Problem(numVars());
   for (unsigned V = 0, E = numVars(); V != E; ++V)
     if (Integrality[V])
@@ -63,5 +92,10 @@ IlpResult IlpBuilder::solve() const {
   std::vector<LexObjective> Levels;
   for (const SparseForm &Objective : Objectives)
     Levels.emplace_back(Objective.densify(numVars()));
+  return {std::move(Problem), std::move(Levels)};
+}
+
+IlpResult IlpBuilder::solve() const {
+  auto [Problem, Levels] = materialize();
   return solveLexMin(std::move(Problem), Levels);
 }

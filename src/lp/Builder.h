@@ -43,6 +43,21 @@ struct SparseForm {
 /// Incremental mixed-ILP builder with named variables.
 class IlpBuilder {
 public:
+  enum RowKind { RowGe, RowEq, RowLe };
+
+  /// A captured slice of builder state: the variables and rows appended
+  /// after a pair of marks. Replaying a block into a later builder state
+  /// allocates fresh copies of its variables and re-appends its rows
+  /// with every reference to a block-local variable rebased, so a block
+  /// is reusable wherever the variables below VarBase keep their ids
+  /// (the Farkas cache relies on makeDimIlp allocating the statement
+  /// variables identically for every dimension).
+  struct ConstraintBlock {
+    unsigned VarBase = 0;
+    std::vector<std::pair<std::string, bool>> Vars; ///< (name, integer)
+    std::vector<std::pair<SparseForm, RowKind>> Rows;
+  };
+
   /// Allocates a variable; all variables are nonnegative. Integer
   /// variables participate in branch and bound.
   unsigned addVar(std::string Name, bool IsInteger);
@@ -68,11 +83,24 @@ public:
   /// cheap push/pop of constraint groups during scheduler backtracking.
   void truncate(unsigned NumRows, unsigned NumObjectives);
 
+  /// Captures the variables and constraint rows appended since the
+  /// marks (typically taken just before a constraint-group builder ran).
+  ConstraintBlock captureBlock(unsigned VarMark, unsigned RowMark) const;
+
+  /// Re-appends a captured block: allocates fresh variables for the
+  /// block's own and rebases their row references; rows may also
+  /// reference variables below the block's VarBase, which must still
+  /// mean the same thing in this builder.
+  void replayBlock(const ConstraintBlock &Block);
+
+  /// Densifies the collected rows and objectives into a solver-ready
+  /// problem; solve() is materialize() followed by solveLexMin.
+  std::pair<IlpProblem, std::vector<LexObjective>> materialize() const;
+
   /// Solves lexicographic minimization over the collected objectives.
   IlpResult solve() const;
 
 private:
-  enum RowKind { RowGe, RowEq, RowLe };
   struct Row {
     SparseForm Form;
     RowKind Kind;

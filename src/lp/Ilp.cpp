@@ -13,13 +13,91 @@ using namespace pinj;
 
 namespace {
 
-/// Depth-first branch and bound state.
+/// Depth-first branch and bound, driven by an explicit worklist instead
+/// of recursion (deep branching chains used to blow the call stack) and
+/// branching by appending single-variable bound rows to a shared path
+/// instead of copying the whole problem per node. The node visit order,
+/// pruning decisions, and every LP relaxation are identical to the old
+/// recursive version: PathRows holds the rows of the current node's
+/// root-to-node path, and solveLpExt solves base + path exactly as the
+/// old code solved its copied-and-extended problem.
 class BranchAndBound {
 public:
   explicit BranchAndBound(const IlpProblem &Problem) : Problem(Problem) {}
 
   IlpResult run() {
-    solveNode(Problem.Lp);
+    // Each work item is a node, described by the path length of its
+    // parent plus the one bound row the branch adds. Pushing the up
+    // branch before the down branch pops them in the recursion's order.
+    struct WorkItem {
+      unsigned Depth; ///< Path rows before this node's own row.
+      LpConstraint Row;
+      bool HasRow;
+    };
+    std::vector<WorkItem> Work;
+    Work.push_back({0, LpConstraint(), false});
+
+    while (!Work.empty() && !Exhausted) {
+      WorkItem Item = std::move(Work.back());
+      Work.pop_back();
+      PathRows.resize(Item.Depth);
+      if (Item.HasRow)
+        PathRows.push_back(std::move(Item.Row));
+
+      if (!budget::chargeNode()) {
+        Exhausted = true;
+        break;
+      }
+      ++Nodes;
+      LpResult Relaxed = solveLpExt(Problem.Lp, PathRows);
+      if (Relaxed.Status == LpResult::BudgetExceeded) {
+        Exhausted = true;
+        break;
+      }
+      if (Relaxed.Status == LpResult::Infeasible)
+        continue;
+      // An unbounded relaxation cannot be pruned; in this project
+      // objectives are sums of nonnegative variables, so this indicates
+      // a misuse.
+      if (Relaxed.Status == LpResult::Unbounded)
+        raiseError(StatusCode::SolverError, "lp.ilp",
+                   "unbounded ILP relaxation");
+      if (Incumbent && Relaxed.Value >= IncumbentValue)
+        continue; // Bound: cannot improve on the incumbent.
+
+      unsigned Fractional = findFractional(Relaxed.Point);
+      if (Fractional == Problem.numVars()) {
+        // Integral solution; becomes the new incumbent.
+        if (!Incumbent || Relaxed.Value < IncumbentValue) {
+          Incumbent = Relaxed.Point;
+          IncumbentValue = Relaxed.Value;
+        }
+        continue;
+      }
+
+      Int Floor = Relaxed.Point[Fractional].floor();
+      unsigned ChildDepth = PathRows.size();
+      // Branch up: x >= floor + 1 (popped second).
+      {
+        IntVector Coeffs(Problem.numVars(), 0);
+        Coeffs[Fractional] = 1;
+        Work.push_back({ChildDepth,
+                        LpConstraint(std::move(Coeffs),
+                                     checkedNeg(checkedAdd(Floor, 1)),
+                                     LpConstraint::GE),
+                        true});
+      }
+      // Branch down: x <= floor (popped first).
+      {
+        IntVector Coeffs(Problem.numVars(), 0);
+        Coeffs[Fractional] = 1;
+        Work.push_back({ChildDepth,
+                        LpConstraint(std::move(Coeffs), checkedNeg(Floor),
+                                     LpConstraint::LE),
+                        true});
+      }
+    }
+
     IlpResult Result;
     Result.NodesExplored = Nodes;
     if (Exhausted) {
@@ -52,60 +130,8 @@ private:
     return Problem.numVars();
   }
 
-  void solveNode(const LpProblem &Node) {
-    if (Exhausted)
-      return;
-    if (!budget::chargeNode()) {
-      Exhausted = true;
-      return;
-    }
-    ++Nodes;
-    LpResult Relaxed = solveLp(Node);
-    if (Relaxed.Status == LpResult::BudgetExceeded) {
-      Exhausted = true;
-      return;
-    }
-    if (Relaxed.Status == LpResult::Infeasible)
-      return;
-    // An unbounded relaxation cannot be pruned; in this project objectives
-    // are sums of nonnegative variables, so this indicates a misuse.
-    if (Relaxed.Status == LpResult::Unbounded)
-      raiseError(StatusCode::SolverError, "lp.ilp",
-                 "unbounded ILP relaxation");
-    if (Incumbent && Relaxed.Value >= IncumbentValue)
-      return; // Bound: cannot improve on the incumbent.
-
-    unsigned Fractional = findFractional(Relaxed.Point);
-    if (Fractional == Problem.numVars()) {
-      // Integral solution; becomes the new incumbent.
-      if (!Incumbent || Relaxed.Value < IncumbentValue) {
-        Incumbent = Relaxed.Point;
-        IncumbentValue = Relaxed.Value;
-      }
-      return;
-    }
-
-    Int Floor = Relaxed.Point[Fractional].floor();
-
-    // Branch down: x <= floor.
-    {
-      LpProblem Down = Node;
-      IntVector Coeffs(Problem.numVars(), 0);
-      Coeffs[Fractional] = 1;
-      Down.addLe(std::move(Coeffs), checkedNeg(Floor));
-      solveNode(Down);
-    }
-    // Branch up: x >= floor + 1.
-    {
-      LpProblem Up = Node;
-      IntVector Coeffs(Problem.numVars(), 0);
-      Coeffs[Fractional] = 1;
-      Up.addGe(std::move(Coeffs), checkedNeg(checkedAdd(Floor, 1)));
-      solveNode(Up);
-    }
-  }
-
   const IlpProblem &Problem;
+  std::vector<LpConstraint> PathRows;
   std::optional<std::vector<Rational>> Incumbent;
   Rational IncumbentValue;
   unsigned Nodes = 0;

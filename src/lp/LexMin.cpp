@@ -1,8 +1,283 @@
 //===- lp/LexMin.cpp ------------------------------------------------------===//
+//
+// Lexicographic minimization with warm-started levels. The old driver
+// re-ran a full two-phase branch and bound from scratch at every
+// objective level; this one keeps one tableau at a feasible basis across
+// levels (phase 1 runs once), pins each level with addPinEquality's mini
+// phase 1, and warm-starts branch-and-bound children from their parent's
+// basis via bound tightening + dual simplex.
+//
+// Bit-exactness: an intermediate level only contributes its optimal
+// VALUE (the pin row), which is unique, so any correct solver may
+// compute it. The FINAL level's point becomes the schedule, so that
+// level always runs the exact cold solver (solveIlp), which replicates
+// the original pivot sequence — schedules stay byte-identical. Any warm
+// hiccup (cycling valve, pin failure) falls back to the exact solver
+// for the level, trading speed for the same answer.
+//
+//===----------------------------------------------------------------------===//
 
 #include "lp/LexMin.h"
 
+#include "lp/Budget.h"
+#include "lp/Tableau.h"
+#include "obs/Metrics.h"
+#include "support/FailPoint.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <optional>
+
 using namespace pinj;
+
+namespace {
+
+struct LpMetrics {
+  obs::Counter &SimplexSolves;
+  obs::Counter &SimplexPivots;
+  obs::Histogram &PivotsPerSolve;
+  obs::Counter &IlpSolves;
+  obs::Counter &IlpFailures;
+  obs::Counter &IlpNodes;
+  obs::Histogram &NodesPerSolve;
+};
+
+LpMetrics &lpMetrics() {
+  static LpMetrics M{obs::metrics().counter("lp.simplex_solves"),
+                     obs::metrics().counter("lp.simplex_pivots"),
+                     obs::metrics().histogram("lp.pivots_per_solve"),
+                     obs::metrics().counter("lp.ilp_solves"),
+                     obs::metrics().counter("lp.ilp_failures"),
+                     obs::metrics().counter("lp.ilp_nodes"),
+                     obs::metrics().histogram("lp.ilp_nodes_per_solve")};
+  return M;
+}
+
+/// Warm solver state for one lexmin run: a persistent root tableau that
+/// survives across objective levels, plus the per-level warm branch and
+/// bound. Any failure flips Dead and the caller re-solves the level with
+/// the exact cold path.
+class WarmLexSolver {
+public:
+  WarmLexSolver(const IlpProblem &Problem, unsigned NumLevels)
+      : Problem(Problem) {
+    for (bool I : Problem.IsInteger)
+      if (I)
+        ++NumIntegerVars;
+    // Growth room: one pin row per non-final level, and along any
+    // branch-and-bound path at most one upper and one lower bound row
+    // per integer variable (later branches tighten in place).
+    Reserve = (NumLevels - 1) + 2 * NumIntegerVars;
+  }
+
+  bool dead() const { return Dead; }
+  void kill() { Dead = true; }
+
+  /// Solves one level; \returns nullopt when the warm path gave up and
+  /// the caller must run the exact solver instead.
+  std::optional<IlpResult> solveLevel(const IntVector &Objective) {
+    LpMetrics &M = lpMetrics();
+    M.IlpSolves.inc();
+    failpoint::hit("lp.ilp");
+
+    NodeCtx Root;
+    IlpResult Result;
+    unsigned Nodes = 0;
+    bool Exhausted = false;
+
+    // Root relaxation: full two-phase once, re-priced phase 2 after.
+    if (!budget::chargeNode()) {
+      Exhausted = true;
+    } else {
+      ++Nodes;
+      SimplexTableau::Outcome O;
+      unsigned PivotsBefore = Tab.pivots();
+      M.SimplexSolves.inc();
+      failpoint::hit("lp.simplex");
+      if (!Built) {
+        Tab.build(Problem.Lp, {}, Reserve, Reserve);
+        O = Tab.solveTwoPhase(Objective);
+        Built = true;
+      } else {
+        O = Tab.reoptimize(Objective);
+      }
+      M.SimplexPivots.add(Tab.pivots() - PivotsBefore);
+      M.PivotsPerSolve.observe(Tab.pivots() - PivotsBefore);
+      switch (O) {
+      case SimplexTableau::Outcome::Budget:
+        Exhausted = true;
+        break;
+      case SimplexTableau::Outcome::Infeasible:
+        Result.Status = IlpResult::Infeasible;
+        Result.NodesExplored = Nodes;
+        M.IlpFailures.inc();
+        M.IlpNodes.add(Nodes);
+        M.NodesPerSolve.observe(Nodes);
+        return Result;
+      case SimplexTableau::Outcome::Unbounded:
+        raiseError(StatusCode::SolverError, "lp.ilp",
+                   "unbounded ILP relaxation");
+      case SimplexTableau::Outcome::Optimal:
+        break;
+      }
+    }
+
+    std::optional<std::vector<Rational>> Incumbent;
+    Rational IncumbentValue;
+
+    // The branch-and-bound works on copies of the root tableau, so the
+    // persistent root basis stays at the level's LP optimum for the pin.
+    struct WorkItem {
+      std::unique_ptr<NodeCtx> Ctx; ///< Parent state to branch from.
+      unsigned Var = 0;
+      Int Bound = 0;
+      bool Upper = false;
+    };
+    std::vector<WorkItem> Work;
+
+    auto evaluate = [&](NodeCtx &Ctx, bool IsRoot) -> bool {
+      // \returns false when the warm path must be abandoned.
+      std::vector<Rational> Point;
+      Ctx.T.extractPoint(Point);
+      Rational Value(Problem.Lp.ObjectiveConstant);
+      for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
+        if (!Objective.empty() && Objective[V] != 0)
+          Value += Rational(Objective[V]) * Point[V];
+      if (Incumbent && Value >= IncumbentValue)
+        return true; // Pruned.
+      unsigned Fractional = Problem.numVars();
+      for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
+        if (Problem.IsInteger[V] && !Point[V].isInteger()) {
+          Fractional = V;
+          break;
+        }
+      if (Fractional == Problem.numVars()) {
+        if (!Incumbent || Value < IncumbentValue) {
+          Incumbent = std::move(Point);
+          IncumbentValue = Value;
+        }
+        return true;
+      }
+      Int Floor = Point[Fractional].floor();
+      // Up branch (popped second) gets a copy; the down branch (popped
+      // first) reuses this node's tableau.
+      auto UpCtx = std::make_unique<NodeCtx>(Ctx);
+      Work.push_back(
+          {std::move(UpCtx), Fractional, checkedAdd(Floor, 1), false});
+      auto DownCtx = std::make_unique<NodeCtx>(std::move(Ctx));
+      Work.push_back({std::move(DownCtx), Fractional, Floor, true});
+      (void)IsRoot;
+      return true;
+    };
+
+    if (!Exhausted) {
+      Root.T = Tab; // Branching copies; the member stays pristine.
+      Root.Le.assign(Problem.numVars(), BoundInfo());
+      Root.Ge.assign(Problem.numVars(), BoundInfo());
+      if (!evaluate(Root, true))
+        return std::nullopt;
+    }
+
+    while (!Work.empty() && !Exhausted) {
+      WorkItem Item = std::move(Work.back());
+      Work.pop_back();
+      NodeCtx &Ctx = *Item.Ctx;
+      // Apply the branch bound: tighten an existing bound row in place
+      // or append a fresh one in the current basis.
+      std::vector<BoundInfo> &Side = Item.Upper ? Ctx.Le : Ctx.Ge;
+      BoundInfo &B = Side[Item.Var];
+      if (B.Present) {
+        // Upper rows encode rhs = bound, lower rows rhs = -bound.
+        Int Delta = Item.Upper ? checkedSub(Item.Bound, B.Bound)
+                               : checkedSub(B.Bound, Item.Bound);
+        Ctx.T.tightenBoundRow(B.SlackCol, Delta);
+        B.Bound = Item.Bound;
+      } else {
+        B.SlackCol = Ctx.T.addBoundRow(Item.Var, Item.Upper, Item.Bound);
+        B.Bound = Item.Bound;
+        B.Present = true;
+      }
+
+      if (!budget::chargeNode()) {
+        Exhausted = true;
+        break;
+      }
+      ++Nodes;
+      unsigned PivotsBefore = Ctx.T.pivots();
+      M.SimplexSolves.inc();
+      failpoint::hit("lp.simplex");
+      SimplexTableau::Outcome O = Ctx.T.dualReoptimize();
+      M.SimplexPivots.add(Ctx.T.pivots() - PivotsBefore);
+      M.PivotsPerSolve.observe(Ctx.T.pivots() - PivotsBefore);
+      if (O == SimplexTableau::Outcome::Budget) {
+        if (budget::anyTripped()) {
+          Exhausted = true;
+          break;
+        }
+        // The dual simplex safety valve tripped without a real budget:
+        // abandon the warm path for this level.
+        M.IlpNodes.add(Nodes);
+        M.NodesPerSolve.observe(Nodes);
+        return std::nullopt;
+      }
+      if (O == SimplexTableau::Outcome::Infeasible)
+        continue;
+      if (!evaluate(Ctx, false))
+        return std::nullopt;
+    }
+
+    Result.NodesExplored = Nodes;
+    M.IlpNodes.add(Nodes);
+    M.NodesPerSolve.observe(Nodes);
+    if (Exhausted) {
+      Result.Status = IlpResult::BudgetExceeded;
+      if (Incumbent) {
+        Result.Value = IncumbentValue;
+        Result.Point = *Incumbent;
+      }
+      M.IlpFailures.inc();
+      return Result;
+    }
+    if (!Incumbent) {
+      Result.Status = IlpResult::Infeasible;
+      M.IlpFailures.inc();
+      return Result;
+    }
+    Result.Status = IlpResult::Optimal;
+    Result.Value = IncumbentValue;
+    Result.Point = *Incumbent;
+    return Result;
+  }
+
+  /// Pins the just-solved level at Coeffs . x == P on the persistent
+  /// root basis. \returns false when the warm state is no longer usable.
+  bool pin(const IntVector &Coeffs, Int P) {
+    if (!Built)
+      return false;
+    SimplexTableau::Outcome O = Tab.addPinEquality(Coeffs, P);
+    return O == SimplexTableau::Outcome::Optimal;
+  }
+
+private:
+  struct BoundInfo {
+    unsigned SlackCol = 0;
+    Int Bound = 0;
+    bool Present = false;
+  };
+  struct NodeCtx {
+    SimplexTableau T;
+    std::vector<BoundInfo> Le, Ge;
+  };
+
+  const IlpProblem &Problem;
+  SimplexTableau Tab;
+  bool Built = false;
+  bool Dead = false;
+  unsigned NumIntegerVars = 0;
+  unsigned Reserve = 0;
+};
+
+} // namespace
 
 IlpResult pinj::solveLexMin(IlpProblem Problem,
                             const std::vector<LexObjective> &Objectives) {
@@ -13,12 +288,27 @@ IlpResult pinj::solveLexMin(IlpProblem Problem,
     return solveIlp(Problem);
   }
 
+  // Intermediate levels only contribute their (unique) optimal value to
+  // the pin rows, so they may run warm; the final level's point is the
+  // returned solution and always runs the exact cold solver.
+  const unsigned NumLevels = Objectives.size();
+  WarmLexSolver Warm(Problem, NumLevels);
+
   unsigned TotalNodes = 0;
-  for (const LexObjective &Level : Objectives) {
+  for (unsigned L = 0; L != NumLevels; ++L) {
+    const LexObjective &Level = Objectives[L];
     assert(Level.Coeffs.size() == Problem.numVars() &&
            "objective width mismatch");
+    const bool Final = L + 1 == NumLevels;
     Problem.Lp.Objective = Level.Coeffs;
-    Last = solveIlp(Problem);
+    if (Final || Warm.dead()) {
+      Last = solveIlp(Problem);
+    } else if (std::optional<IlpResult> W = Warm.solveLevel(Level.Coeffs)) {
+      Last = std::move(*W);
+    } else {
+      Warm.kill();
+      Last = solveIlp(Problem);
+    }
     TotalNodes += Last.NodesExplored;
     if (!Last.isOptimal()) {
       Last.NodesExplored = TotalNodes;
@@ -30,6 +320,8 @@ IlpResult pinj::solveLexMin(IlpProblem Problem,
     IntVector Pinned(Problem.numVars(), 0);
     for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
       Pinned[V] = checkedMul(Q, Level.Coeffs[V]);
+    if (!Final && !Warm.dead() && !Warm.pin(Pinned, P))
+      Warm.kill();
     Problem.Lp.addEq(std::move(Pinned), checkedNeg(P));
   }
   Last.NodesExplored = TotalNodes;

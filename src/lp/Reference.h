@@ -1,0 +1,42 @@
+//===- lp/Reference.h - Reference (slow) exact solvers ----------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textbook solver stack preserved verbatim as a differential
+/// oracle: dense vector-of-vectors tableau, always-128-bit rational
+/// arithmetic (ScopedForceWide), full-problem copies at every
+/// branch-and-bound node, recursion instead of a worklist, no warm
+/// starts, a from-scratch phase 1 at every lexicographic level. The
+/// production solvers in Simplex/Ilp/LexMin must match it on status,
+/// value, and point; tests/lp_perf_test.cpp and bench/bench_lp.cpp
+/// enforce that on random and scheduler-derived problems.
+///
+/// The reference path charges no budgets, bumps no metrics, and hits no
+/// fail-points: it is an oracle, not a production code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_LP_REFERENCE_H
+#define POLYINJECT_LP_REFERENCE_H
+
+#include "lp/LexMin.h"
+
+namespace pinj {
+
+/// Two-phase primal simplex, original implementation.
+LpResult referenceSolveLp(const LpProblem &Problem);
+
+/// Recursive branch and bound over referenceSolveLp.
+IlpResult referenceSolveIlp(const IlpProblem &Problem);
+
+/// Level-by-level lexicographic minimization over referenceSolveIlp.
+IlpResult referenceSolveLexMin(IlpProblem Problem,
+                               const std::vector<LexObjective> &Objectives);
+
+} // namespace pinj
+
+#endif // POLYINJECT_LP_REFERENCE_H

@@ -3,6 +3,7 @@
 #include "lp/Simplex.h"
 
 #include "lp/Budget.h"
+#include "lp/Tableau.h"
 #include "obs/Metrics.h"
 #include "support/FailPoint.h"
 
@@ -15,288 +16,51 @@ void LpProblem::addUpperBound(unsigned Var, Int Bound) {
   addLe(std::move(Coeffs), checkedNeg(Bound));
 }
 
-namespace {
-
-/// Outcome of a tableau optimization run.
-enum class MinimizeOutcome { Optimal, Unbounded, Budget };
-
-/// A classic dense simplex tableau over exact rationals.
-///
-/// Layout: Rows constraints (equalities with nonnegative right-hand side)
-/// over Cols variables; column Cols holds the right-hand side. The
-/// objective row is stored separately. Basis[r] is the basic variable of
-/// row r.
-class Tableau {
-public:
-  Tableau(unsigned NumRows, unsigned NumCols)
-      : Rows(NumRows), Cols(NumCols),
-        Cells(NumRows, std::vector<Rational>(NumCols + 1, Rational(0))),
-        ObjRow(NumCols + 1, Rational(0)), Basis(NumRows, 0) {}
-
-  unsigned numRows() const { return Rows; }
-  unsigned numCols() const { return Cols; }
-
-  Rational &at(unsigned R, unsigned C) { return Cells[R][C]; }
-  Rational &rhs(unsigned R) { return Cells[R][Cols]; }
-  Rational &obj(unsigned C) { return ObjRow[C]; }
-  Rational &objValue() { return ObjRow[Cols]; }
-  unsigned basicVar(unsigned R) const { return Basis[R]; }
-  void setBasicVar(unsigned R, unsigned Var) { Basis[R] = Var; }
-
-  /// Makes the objective row consistent with the current basis (reduced
-  /// costs zero on basic columns).
-  void priceOutBasis() {
-    for (unsigned R = 0; R != Rows; ++R) {
-      unsigned BV = Basis[R];
-      if (ObjRow[BV].isZero())
-        continue;
-      Rational Factor = ObjRow[BV];
-      for (unsigned C = 0; C <= Cols; ++C)
-        ObjRow[C] -= Factor * Cells[R][C];
-    }
-  }
-
-  /// Runs the primal simplex: Dantzig's rule (most negative reduced
-  /// cost, usually few pivots) with a switch to Bland's rule after a
-  /// long degenerate stretch to guarantee termination. Every pivot is
-  /// charged to the active SolverBudget; an exhausted budget stops the
-  /// run mid-optimization.
-  MinimizeOutcome minimize() {
-    unsigned DegenerateStreak = 0;
-    const unsigned BlandThreshold = 2 * (Rows + Cols) + 16;
-    const bool Budgeted = budget::active();
-    for (;;) {
-      bool UseBland = DegenerateStreak > BlandThreshold;
-      unsigned Entering = Cols;
-      for (unsigned C = 0; C != Cols; ++C) {
-        if (!ObjRow[C].isNegative())
-          continue;
-        if (UseBland) {
-          Entering = C; // Lowest index.
-          break;
-        }
-        if (Entering == Cols || ObjRow[C] < ObjRow[Entering])
-          Entering = C; // Most negative reduced cost.
-      }
-      if (Entering == Cols)
-        return MinimizeOutcome::Optimal;
-
-      // Ratio test; Bland tie-break on the basic variable index.
-      unsigned Leaving = Rows;
-      Rational BestRatio;
-      for (unsigned R = 0; R != Rows; ++R) {
-        if (!Cells[R][Entering].isPositive())
-          continue;
-        Rational Ratio = Cells[R][Cols] / Cells[R][Entering];
-        if (Leaving == Rows || Ratio < BestRatio ||
-            (Ratio == BestRatio && Basis[R] < Basis[Leaving])) {
-          Leaving = R;
-          BestRatio = Ratio;
-        }
-      }
-      if (Leaving == Rows)
-        return MinimizeOutcome::Unbounded;
-      if (BestRatio.isZero())
-        ++DegenerateStreak; // No objective progress: possible cycling.
-      else
-        DegenerateStreak = 0;
-      if (Budgeted && (!budget::chargePivot() || budget::deadlineExpired()))
-        return MinimizeOutcome::Budget;
-      pivot(Leaving, Entering);
-    }
-  }
-
-  unsigned pivots() const { return PivotCount; }
-
-  void pivot(unsigned PivotRow, unsigned PivotCol) {
-    ++PivotCount;
-    Rational Pivot = Cells[PivotRow][PivotCol];
-    assert(!Pivot.isZero() && "pivot on zero entry");
-    for (unsigned C = 0; C <= Cols; ++C)
-      Cells[PivotRow][C] /= Pivot;
-    for (unsigned R = 0; R != Rows; ++R) {
-      if (R == PivotRow || Cells[R][PivotCol].isZero())
-        continue;
-      Rational Factor = Cells[R][PivotCol];
-      for (unsigned C = 0; C <= Cols; ++C)
-        Cells[R][C] -= Factor * Cells[PivotRow][C];
-    }
-    if (!ObjRow[PivotCol].isZero()) {
-      Rational Factor = ObjRow[PivotCol];
-      for (unsigned C = 0; C <= Cols; ++C)
-        ObjRow[C] -= Factor * Cells[PivotRow][C];
-    }
-    Basis[PivotRow] = PivotCol;
-  }
-
-private:
-  unsigned Rows;
-  unsigned Cols;
-  std::vector<std::vector<Rational>> Cells;
-  std::vector<Rational> ObjRow;
-  std::vector<unsigned> Basis;
-  unsigned PivotCount = 0;
-};
-
-} // namespace
-
-LpResult pinj::solveLp(const LpProblem &Problem) {
+LpResult pinj::solveLpExt(const LpProblem &Problem,
+                          const std::vector<LpConstraint> &ExtraRows) {
   static obs::Counter &SimplexSolves =
       obs::metrics().counter("lp.simplex_solves");
   static obs::Counter &SimplexPivots =
       obs::metrics().counter("lp.simplex_pivots");
+  static obs::Histogram &PivotsPerSolve =
+      obs::metrics().histogram("lp.pivots_per_solve");
   SimplexSolves.inc();
   failpoint::hit("lp.simplex");
 
-  unsigned NumStructural = Problem.NumVars;
-  unsigned NumRows = Problem.Constraints.size();
-
-  // Count slack variables (one per inequality) and find the rows whose
-  // slack can serve as the initial basis: after normalizing the
-  // right-hand side to be nonnegative, a +1 slack coefficient gives a
-  // feasible basic variable, so no artificial is needed for the row.
-  unsigned NumSlacks = 0;
-  for (const LpConstraint &C : Problem.Constraints)
-    if (C.Kind != LpConstraint::EQ)
-      ++NumSlacks;
-
-  std::vector<Int> RowSign(NumRows, 1);
-  std::vector<bool> NeedsArtificial(NumRows, true);
-  unsigned NumArtificials = 0;
-  for (unsigned R = 0; R != NumRows; ++R) {
-    const LpConstraint &C = Problem.Constraints[R];
-    Int Rhs = checkedNeg(C.Constant);
-    if (Rhs < 0)
-      RowSign[R] = -1;
-    if (C.Kind != LpConstraint::EQ) {
-      Int SlackSign =
-          checkedMul(RowSign[R], C.Kind == LpConstraint::GE ? -1 : 1);
-      NeedsArtificial[R] = SlackSign != 1;
-    }
-    if (NeedsArtificial[R])
-      ++NumArtificials;
-  }
-
-  // Columns: structural | slacks | artificials (only where needed).
-  unsigned SlackBase = NumStructural;
-  unsigned ArtBase = NumStructural + NumSlacks;
-  unsigned NumCols = ArtBase + NumArtificials;
-
-  Tableau T(NumRows, NumCols);
-
-  unsigned SlackIdx = 0, ArtIdx = 0;
-  for (unsigned R = 0; R != NumRows; ++R) {
-    const LpConstraint &C = Problem.Constraints[R];
-    assert(C.Coeffs.size() == NumStructural && "constraint width mismatch");
-    // Constraint semantics: Coeffs.x + Constant (kind) 0, rewritten as
-    // Coeffs.x (kind) -Constant, normalized to a nonnegative RHS.
-    Int Sign = RowSign[R];
-    Int Rhs = checkedMul(Sign, checkedNeg(C.Constant));
-    for (unsigned V = 0; V != NumStructural; ++V)
-      T.at(R, V) = Rational(checkedMul(Sign, C.Coeffs[V]));
-    T.rhs(R) = Rational(Rhs);
-    if (C.Kind != LpConstraint::EQ) {
-      // GE becomes Coeffs.x - s = rhs (slack coeff -1), LE gets +1;
-      // row negation flips the slack sign too.
-      Int SlackSign = (C.Kind == LpConstraint::GE) ? -1 : 1;
-      T.at(R, SlackBase + SlackIdx) = Rational(checkedMul(Sign, SlackSign));
-      if (!NeedsArtificial[R])
-        T.setBasicVar(R, SlackBase + SlackIdx);
-      ++SlackIdx;
-    }
-    if (NeedsArtificial[R]) {
-      T.at(R, ArtBase + ArtIdx) = Rational(1);
-      T.setBasicVar(R, ArtBase + ArtIdx);
-      ++ArtIdx;
-    }
-  }
-
-  // Phase 1: minimize the sum of artificials (skipped when none).
-  if (NumArtificials != 0) {
-    for (unsigned A = 0; A != NumArtificials; ++A)
-      T.obj(ArtBase + A) = Rational(1);
-    T.priceOutBasis();
-    MinimizeOutcome Phase1 = T.minimize();
-    // The phase-1 objective is bounded below by construction, so the
-    // only non-optimal outcome is an exhausted budget.
-    if (Phase1 != MinimizeOutcome::Optimal) {
-      SimplexPivots.add(T.pivots());
-      LpResult Result;
-      Result.Status = LpResult::BudgetExceeded;
-      return Result;
-    }
-    if (!T.objValue().isZero()) {
-      // Nonzero phase-1 optimum (objValue holds -(sum of artificials)).
-      SimplexPivots.add(T.pivots());
-      LpResult Result;
-      Result.Status = LpResult::Infeasible;
-      return Result;
-    }
-  }
-
-  // Drive any artificial variables out of the basis (degenerate rows).
-  for (unsigned R = 0; R != NumRows; ++R) {
-    if (T.basicVar(R) < ArtBase)
-      continue;
-    unsigned Entering = ArtBase;
-    for (unsigned C = 0; C != ArtBase; ++C) {
-      if (!T.at(R, C).isZero()) {
-        Entering = C;
-        break;
-      }
-    }
-    if (Entering != ArtBase)
-      T.pivot(R, Entering);
-    // Otherwise the row is all-zero over real columns: redundant; its
-    // artificial stays basic at value zero, which is harmless as long as
-    // artificial columns can never re-enter (handled below).
-  }
-
-  // Phase 2: restore the real objective. Artificial columns are excluded
-  // from entering by forcing a large positive reduced cost... instead we
-  // zero their columns so Bland's rule never selects them.
-  for (unsigned R = 0; R != NumRows; ++R)
-    for (unsigned A = 0; A != NumArtificials; ++A)
-      if (T.basicVar(R) != ArtBase + A)
-        T.at(R, ArtBase + A) = Rational(0);
-
-  for (unsigned C = 0; C != NumCols; ++C)
-    T.obj(C) = Rational(0);
-  T.objValue() = Rational(0);
-  if (!Problem.Objective.empty()) {
-    assert(Problem.Objective.size() == NumStructural &&
-           "objective width mismatch");
-    for (unsigned V = 0; V != NumStructural; ++V)
-      T.obj(V) = Rational(Problem.Objective[V]);
-  }
-  // Keep artificials non-entering: give them +1 reduced cost pre-pricing.
-  for (unsigned A = 0; A != NumArtificials; ++A)
-    T.obj(ArtBase + A) = Rational(1);
-  T.priceOutBasis();
-  // After pricing, basic artificial columns have zero reduced cost and
-  // nonbasic ones keep +1, so they never enter.
-
-  MinimizeOutcome Phase2 = T.minimize();
-  if (Phase2 != MinimizeOutcome::Optimal) {
-    SimplexPivots.add(T.pivots());
-    LpResult Result;
-    Result.Status = Phase2 == MinimizeOutcome::Unbounded
-                        ? LpResult::Unbounded
-                        : LpResult::BudgetExceeded;
-    return Result;
-  }
+  // One scratch tableau per thread: the branch-and-bound hot path
+  // re-solves hundreds of closely related problems, and reusing the
+  // flat buffer makes each build allocation-free in the steady state.
+  static thread_local SimplexTableau T;
+  T.build(Problem, ExtraRows);
+  SimplexTableau::Outcome Outcome = T.solveTwoPhase(Problem.Objective);
   SimplexPivots.add(T.pivots());
+  PivotsPerSolve.observe(T.pivots());
 
   LpResult Result;
+  switch (Outcome) {
+  case SimplexTableau::Outcome::Budget:
+    Result.Status = LpResult::BudgetExceeded;
+    return Result;
+  case SimplexTableau::Outcome::Infeasible:
+    Result.Status = LpResult::Infeasible;
+    return Result;
+  case SimplexTableau::Outcome::Unbounded:
+    Result.Status = LpResult::Unbounded;
+    return Result;
+  case SimplexTableau::Outcome::Optimal:
+    break;
+  }
+
   Result.Status = LpResult::Optimal;
-  Result.Point.assign(NumStructural, Rational(0));
-  for (unsigned R = 0; R != NumRows; ++R)
-    if (T.basicVar(R) < NumStructural)
-      Result.Point[T.basicVar(R)] = T.rhs(R);
+  T.extractPoint(Result.Point);
   // The tableau tracks -(objective shift); recompute the value directly.
   Result.Value = Rational(Problem.ObjectiveConstant);
-  for (unsigned V = 0; V != NumStructural; ++V)
+  for (unsigned V = 0, E = Problem.NumVars; V != E; ++V)
     if (!Problem.Objective.empty() && Problem.Objective[V] != 0)
       Result.Value += Rational(Problem.Objective[V]) * Result.Point[V];
   return Result;
+}
+
+LpResult pinj::solveLp(const LpProblem &Problem) {
+  return solveLpExt(Problem, {});
 }

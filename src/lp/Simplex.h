@@ -80,6 +80,13 @@ struct LpResult {
 /// Solves \p Problem with an exact two-phase simplex.
 LpResult solveLp(const LpProblem &Problem);
 
+/// Solves \p Problem with \p ExtraRows appended to its constraints —
+/// exactly equivalent to copying the problem and appending the rows,
+/// but without the copy. Branch and bound threads its path of branching
+/// rows through here.
+LpResult solveLpExt(const LpProblem &Problem,
+                    const std::vector<LpConstraint> &ExtraRows);
+
 } // namespace pinj
 
 #endif // POLYINJECT_LP_SIMPLEX_H

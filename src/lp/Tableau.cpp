@@ -1,0 +1,485 @@
+//===- lp/Tableau.cpp -----------------------------------------------------===//
+
+#include "lp/Tableau.h"
+
+#include "lp/Budget.h"
+
+using namespace pinj;
+
+void SimplexTableau::build(const LpProblem &Base,
+                           const std::vector<LpConstraint> &Extra,
+                           unsigned ReserveRows, unsigned ReserveCols) {
+  NumStructural = Base.NumVars;
+  const unsigned NumBase = Base.Constraints.size();
+  const unsigned NumRows = NumBase + Extra.size();
+  auto constraintAt = [&](unsigned R) -> const LpConstraint & {
+    return R < NumBase ? Base.Constraints[R] : Extra[R - NumBase];
+  };
+
+  // Count slack variables (one per inequality) and find the rows whose
+  // slack can serve as the initial basis: after normalizing the
+  // right-hand side to be nonnegative, a +1 slack coefficient gives a
+  // feasible basic variable, so no artificial is needed for the row.
+  unsigned NumSlacks = 0;
+  for (unsigned R = 0; R != NumRows; ++R)
+    if (constraintAt(R).Kind != LpConstraint::EQ)
+      ++NumSlacks;
+
+  std::vector<Int> RowSign(NumRows, 1);
+  std::vector<bool> NeedsArtificial(NumRows, true);
+  unsigned NumArtificials = 0;
+  for (unsigned R = 0; R != NumRows; ++R) {
+    const LpConstraint &C = constraintAt(R);
+    Int Rhs = checkedNeg(C.Constant);
+    if (Rhs < 0)
+      RowSign[R] = -1;
+    if (C.Kind != LpConstraint::EQ) {
+      Int SlackSign =
+          checkedMul(RowSign[R], C.Kind == LpConstraint::GE ? -1 : 1);
+      NeedsArtificial[R] = SlackSign != 1;
+    }
+    if (NeedsArtificial[R])
+      ++NumArtificials;
+  }
+
+  // Columns: structural | slacks (row order) | artificials (only where
+  // needed) — the reference layout, so exact-mode pivot sequences match.
+  const unsigned SlackBase = NumStructural;
+  const unsigned ArtBase = NumStructural + NumSlacks;
+  const unsigned NumCols = ArtBase + NumArtificials;
+
+  Rows = NumRows;
+  Cols = NumCols;
+  Stride = NumCols + ReserveCols + 1;
+  RowCapacity = NumRows + ReserveRows;
+  PivotCount = 0;
+  // Every vector is sized to full capacity up front: copies of a warm
+  // tableau (branch-and-bound snapshots) must keep the growth room.
+  Cells.assign(static_cast<size_t>(RowCapacity) * Stride, Rational(0));
+  ObjRow.assign(Stride, Rational(0));
+  Basis.assign(RowCapacity, 0);
+  ColIsArtificial.assign(Stride - 1, false);
+  for (unsigned A = 0; A != NumArtificials; ++A)
+    ColIsArtificial[ArtBase + A] = true;
+
+  unsigned SlackIdx = 0, ArtIdx = 0;
+  for (unsigned R = 0; R != NumRows; ++R) {
+    const LpConstraint &C = constraintAt(R);
+    assert(C.Coeffs.size() == NumStructural && "constraint width mismatch");
+    // Constraint semantics: Coeffs.x + Constant (kind) 0, rewritten as
+    // Coeffs.x (kind) -Constant, normalized to a nonnegative RHS.
+    Int Sign = RowSign[R];
+    Int RhsVal = checkedMul(Sign, checkedNeg(C.Constant));
+    Rational *Rw = row(R);
+    for (unsigned V = 0; V != NumStructural; ++V)
+      Rw[V] = Rational(checkedMul(Sign, C.Coeffs[V]));
+    Rw[Stride - 1] = Rational(RhsVal);
+    if (C.Kind != LpConstraint::EQ) {
+      // GE becomes Coeffs.x - s = rhs (slack coeff -1), LE gets +1;
+      // row negation flips the slack sign too.
+      Int SlackSign = (C.Kind == LpConstraint::GE) ? -1 : 1;
+      Rw[SlackBase + SlackIdx] = Rational(checkedMul(Sign, SlackSign));
+      if (!NeedsArtificial[R])
+        Basis[R] = SlackBase + SlackIdx;
+      ++SlackIdx;
+    }
+    if (NeedsArtificial[R]) {
+      Rw[ArtBase + ArtIdx] = Rational(1);
+      Basis[R] = ArtBase + ArtIdx;
+      ++ArtIdx;
+    }
+  }
+}
+
+void SimplexTableau::priceOutBasis() {
+  for (unsigned R = 0; R != Rows; ++R) {
+    unsigned BV = Basis[R];
+    if (ObjRow[BV].isZero())
+      continue;
+    Rational Factor = ObjRow[BV];
+    const Rational *Rw = row(R);
+    for (unsigned C = 0; C != Cols; ++C)
+      if (!Rw[C].isZero())
+        ObjRow[C] -= Factor * Rw[C];
+    if (!Rw[Stride - 1].isZero())
+      ObjRow[Stride - 1] -= Factor * Rw[Stride - 1];
+  }
+}
+
+void SimplexTableau::pivot(unsigned PivotRow, unsigned PivotCol) {
+  ++PivotCount;
+  Rational *PR = row(PivotRow);
+  const Rational Pivot = PR[PivotCol];
+  assert(!Pivot.isZero() && "pivot on zero entry");
+  // Normalize the pivot row (a unit pivot — the common slack case — is
+  // already normalized) and record its sparsity pattern; every update
+  // below only walks the nonzero pivot-row columns.
+  const bool UnitPivot = Pivot == Rational(1);
+  NonZeroScratch.clear();
+  for (unsigned C = 0; C != Cols; ++C) {
+    if (PR[C].isZero())
+      continue;
+    if (!UnitPivot)
+      PR[C] /= Pivot;
+    NonZeroScratch.push_back(C);
+  }
+  if (!PR[Stride - 1].isZero()) {
+    if (!UnitPivot)
+      PR[Stride - 1] /= Pivot;
+    NonZeroScratch.push_back(Stride - 1);
+  }
+  for (unsigned R = 0; R != Rows; ++R) {
+    if (R == PivotRow)
+      continue;
+    Rational *Rw = row(R);
+    if (Rw[PivotCol].isZero())
+      continue;
+    Rational Factor = Rw[PivotCol];
+    for (unsigned C : NonZeroScratch)
+      Rw[C] -= Factor * PR[C];
+  }
+  if (!ObjRow[PivotCol].isZero()) {
+    Rational Factor = ObjRow[PivotCol];
+    for (unsigned C : NonZeroScratch)
+      ObjRow[C] -= Factor * PR[C];
+  }
+  Basis[PivotRow] = PivotCol;
+}
+
+SimplexTableau::Outcome SimplexTableau::minimize() {
+  unsigned DegenerateStreak = 0;
+  const unsigned BlandThreshold = 2 * (Rows + Cols) + 16;
+  const bool Budgeted = budget::active();
+  for (;;) {
+    bool UseBland = DegenerateStreak > BlandThreshold;
+    unsigned Entering = Cols;
+    for (unsigned C = 0; C != Cols; ++C) {
+      if (!ObjRow[C].isNegative())
+        continue;
+      if (UseBland) {
+        Entering = C; // Lowest index.
+        break;
+      }
+      if (Entering == Cols || ObjRow[C] < ObjRow[Entering])
+        Entering = C; // Most negative reduced cost.
+    }
+    if (Entering == Cols)
+      return Outcome::Optimal;
+
+    // Ratio test; Bland tie-break on the basic variable index.
+    unsigned Leaving = Rows;
+    Rational BestRatio;
+    for (unsigned R = 0; R != Rows; ++R) {
+      const Rational *Rw = row(R);
+      if (!Rw[Entering].isPositive())
+        continue;
+      Rational Ratio = Rw[Stride - 1] / Rw[Entering];
+      if (Leaving == Rows || Ratio < BestRatio ||
+          (Ratio == BestRatio && Basis[R] < Basis[Leaving])) {
+        Leaving = R;
+        BestRatio = Ratio;
+      }
+    }
+    if (Leaving == Rows)
+      return Outcome::Unbounded;
+    if (BestRatio.isZero())
+      ++DegenerateStreak; // No objective progress: possible cycling.
+    else
+      DegenerateStreak = 0;
+    if (Budgeted && (!budget::chargePivot() || budget::deadlineExpired()))
+      return Outcome::Budget;
+    pivot(Leaving, Entering);
+  }
+}
+
+SimplexTableau::Outcome SimplexTableau::solveTwoPhase(
+    const IntVector &Objective) {
+  // Recover the build() column partition: artificials are the trailing
+  // flagged columns (solveTwoPhase runs before any warm growth).
+  unsigned ArtBase = Cols;
+  unsigned NumArtificials = 0;
+  for (unsigned C = Cols; C != 0; --C) {
+    if (!ColIsArtificial[C - 1])
+      break;
+    ArtBase = C - 1;
+    ++NumArtificials;
+  }
+
+  // Phase 1: minimize the sum of artificials (skipped when none).
+  if (NumArtificials != 0) {
+    for (unsigned A = 0; A != NumArtificials; ++A)
+      obj(ArtBase + A) = Rational(1);
+    priceOutBasis();
+    Outcome Phase1 = minimize();
+    // The phase-1 objective is bounded below by construction, so the
+    // only non-optimal outcome is an exhausted budget.
+    if (Phase1 != Outcome::Optimal)
+      return Outcome::Budget;
+    if (!objValue().isZero())
+      return Outcome::Infeasible;
+  }
+
+  // Drive any artificial variables out of the basis (degenerate rows).
+  for (unsigned R = 0; R != Rows; ++R) {
+    if (Basis[R] < ArtBase)
+      continue;
+    unsigned Entering = ArtBase;
+    for (unsigned C = 0; C != ArtBase; ++C) {
+      if (!at(R, C).isZero()) {
+        Entering = C;
+        break;
+      }
+    }
+    if (Entering != ArtBase)
+      pivot(R, Entering);
+    // Otherwise the row is all-zero over real columns: redundant; its
+    // artificial stays basic at value zero, which is harmless as long
+    // as artificial columns can never re-enter (handled below).
+  }
+
+  // Phase 2: zero nonbasic artificial columns so no pivot rule can ever
+  // select them again.
+  for (unsigned R = 0; R != Rows; ++R)
+    for (unsigned A = 0; A != NumArtificials; ++A)
+      if (Basis[R] != ArtBase + A)
+        at(R, ArtBase + A) = Rational(0);
+
+  for (unsigned C = 0; C != Cols; ++C)
+    obj(C) = Rational(0);
+  objValue() = Rational(0);
+  if (!Objective.empty()) {
+    assert(Objective.size() == NumStructural && "objective width mismatch");
+    for (unsigned V = 0; V != NumStructural; ++V)
+      obj(V) = Rational(Objective[V]);
+  }
+  // Keep artificials non-entering: give them +1 reduced cost
+  // pre-pricing; basic ones end up at zero, nonbasic ones keep +1.
+  for (unsigned A = 0; A != NumArtificials; ++A)
+    obj(ArtBase + A) = Rational(1);
+  priceOutBasis();
+
+  return minimize();
+}
+
+SimplexTableau::Outcome SimplexTableau::reoptimize(const IntVector &Objective) {
+  for (unsigned C = 0; C != Stride; ++C)
+    ObjRow[C] = Rational(0);
+  if (!Objective.empty()) {
+    assert(Objective.size() == NumStructural && "objective width mismatch");
+    for (unsigned V = 0; V != NumStructural; ++V)
+      obj(V) = Rational(Objective[V]);
+  }
+  for (unsigned C = 0; C != Cols; ++C)
+    if (ColIsArtificial[C])
+      obj(C) = Rational(1);
+  priceOutBasis();
+  return minimize();
+}
+
+SimplexTableau::Outcome SimplexTableau::dualReoptimize() {
+  unsigned DegenerateStreak = 0;
+  const unsigned BlandThreshold = 2 * (Rows + Cols) + 16;
+  // Hard safety valve on top of the anti-cycling rule: a warm caller
+  // falls back to the exact cold solve when this trips.
+  const unsigned MaxPivots = 400 + 20 * (Rows + Cols);
+  unsigned Pivots = 0;
+  const bool Budgeted = budget::active();
+  for (;;) {
+    bool UseBland = DegenerateStreak > BlandThreshold;
+    // Leaving row: a primal-infeasible one. Default rule: most negative
+    // right-hand side; Bland mode: smallest basic variable index.
+    unsigned Leaving = Rows;
+    for (unsigned R = 0; R != Rows; ++R) {
+      if (!rhs(R).isNegative())
+        continue;
+      if (Leaving == Rows) {
+        Leaving = R;
+        continue;
+      }
+      if (UseBland) {
+        if (Basis[R] < Basis[Leaving])
+          Leaving = R;
+      } else if (rhs(R) < rhs(Leaving) ||
+                 (rhs(R) == rhs(Leaving) && Basis[R] < Basis[Leaving])) {
+        Leaving = R;
+      }
+    }
+    if (Leaving == Rows)
+      return Outcome::Optimal; // Primal feasible again, still dual feasible.
+
+    // Entering column: dual ratio test over negative row entries,
+    // minimizing ObjRow[C] / -row[C]; ties break toward the smallest
+    // column index (together with Bland's leaving rule this is the
+    // cycling-free dual rule). Artificial columns never re-enter.
+    const Rational *Rw = row(Leaving);
+    unsigned Entering = Cols;
+    Rational BestNum, BestDen; // Best ratio as BestNum / BestDen.
+    for (unsigned C = 0; C != Cols; ++C) {
+      if (ColIsArtificial[C] || !Rw[C].isNegative())
+        continue;
+      Rational Num = ObjRow[C];
+      Rational Den = -Rw[C];
+      if (Entering == Cols) {
+        Entering = C;
+        BestNum = Num;
+        BestDen = Den;
+        continue;
+      }
+      // Num/Den < BestNum/BestDen  <=>  Num*BestDen < BestNum*Den
+      // (both denominators positive).
+      if (Num * BestDen < BestNum * Den) {
+        Entering = C;
+        BestNum = Num;
+        BestDen = Den;
+      }
+    }
+    if (Entering == Cols)
+      return Outcome::Infeasible; // Dual unbounded: primal empty.
+
+    if (ObjRow[Entering].isZero())
+      ++DegenerateStreak;
+    else
+      DegenerateStreak = 0;
+    if (++Pivots > MaxPivots)
+      return Outcome::Budget;
+    if (Budgeted && (!budget::chargePivot() || budget::deadlineExpired()))
+      return Outcome::Budget;
+    pivot(Leaving, Entering);
+  }
+}
+
+unsigned SimplexTableau::appendRowAndColumn() {
+  assert(Rows < RowCapacity && Cols + 1 < Stride &&
+         "tableau growth exceeds reserved capacity");
+  unsigned NewCol = Cols++;
+  unsigned NewRow = Rows++;
+  // The cells were zeroed at build() and pivot loops only touch active
+  // columns, so the fresh row and column are already all-zero.
+  Basis[NewRow] = NewCol;
+  ColIsArtificial[NewCol] = false;
+  (void)NewRow;
+  return NewCol;
+}
+
+void SimplexTableau::reduceAgainstBasis(std::vector<Rational> &Dense) {
+  // Eliminate basic variables: basic columns are unit vectors, so each
+  // elimination only touches nonbasic columns and cannot reintroduce an
+  // earlier basic variable.
+  for (unsigned R = 0; R != Rows; ++R) {
+    unsigned BV = Basis[R];
+    if (Dense[BV].isZero())
+      continue;
+    Rational Factor = Dense[BV];
+    const Rational *Rw = row(R);
+    for (unsigned C = 0; C != Cols; ++C)
+      if (!Rw[C].isZero())
+        Dense[C] -= Factor * Rw[C];
+    if (!Rw[Stride - 1].isZero())
+      Dense[Stride - 1] -= Factor * Rw[Stride - 1];
+  }
+}
+
+unsigned SimplexTableau::addBoundRow(unsigned Var, bool Upper, Int Bound) {
+  assert(Var < NumStructural && "bound on a non-structural variable");
+  DenseScratch.assign(Stride, Rational(0));
+  // Upper:  x + s =  Bound;  lower:  -x + s = -Bound  (slack s >= 0).
+  DenseScratch[Var] = Rational(Upper ? 1 : -1);
+  DenseScratch[Stride - 1] = Rational(Upper ? Bound : checkedNeg(Bound));
+  reduceAgainstBasis(DenseScratch);
+  unsigned OldCols = Cols;
+  unsigned SlackCol = appendRowAndColumn();
+  Rational *Rw = row(Rows - 1);
+  for (unsigned C = 0; C != OldCols; ++C)
+    Rw[C] = DenseScratch[C];
+  Rw[SlackCol] = Rational(1);
+  Rw[Stride - 1] = DenseScratch[Stride - 1];
+  // The new slack is basic with zero reduced cost: reduced costs of all
+  // other columns are unchanged by a row whose dual value is zero.
+  return SlackCol;
+}
+
+void SimplexTableau::tightenBoundRow(unsigned SlackCol, Int Delta) {
+  // The slack's column is B^-1 e_row for the bound row, so shifting the
+  // row's original right-hand side by Delta shifts the current
+  // right-hand sides by Delta * column(SlackCol).
+  if (Delta == 0)
+    return;
+  Rational D(Delta);
+  for (unsigned R = 0; R != Rows; ++R) {
+    const Rational &Entry = at(R, SlackCol);
+    if (!Entry.isZero())
+      rhs(R) += D * Entry;
+  }
+}
+
+SimplexTableau::Outcome SimplexTableau::addPinEquality(const IntVector &Coeffs,
+                                                       Int Rhs) {
+  assert(Coeffs.size() == NumStructural && "pin row width mismatch");
+  DenseScratch.assign(Stride, Rational(0));
+  for (unsigned V = 0; V != NumStructural; ++V)
+    DenseScratch[V] = Rational(Coeffs[V]);
+  DenseScratch[Stride - 1] = Rational(Rhs);
+  reduceAgainstBasis(DenseScratch);
+  // Normalize so the fresh artificial starts nonnegative.
+  if (DenseScratch[Stride - 1].isNegative())
+    for (unsigned C = 0; C != Stride; ++C)
+      if (!DenseScratch[C].isZero())
+        DenseScratch[C] = -DenseScratch[C];
+  unsigned OldCols = Cols;
+  unsigned ArtCol = appendRowAndColumn();
+  Rational *Rw = row(Rows - 1);
+  for (unsigned C = 0; C != OldCols; ++C)
+    Rw[C] = DenseScratch[C];
+  Rw[ArtCol] = Rational(1);
+  Rw[Stride - 1] = DenseScratch[Stride - 1];
+  ColIsArtificial[ArtCol] = true;
+
+  // Mini phase 1 from the current feasible basis: minimize the sum of
+  // artificials (the fresh one plus any basic-at-zero leftovers).
+  for (unsigned C = 0; C != Stride; ++C)
+    ObjRow[C] = Rational(0);
+  for (unsigned C = 0; C != Cols; ++C)
+    if (ColIsArtificial[C])
+      obj(C) = Rational(1);
+  priceOutBasis();
+  Outcome Phase = minimize();
+  if (Phase != Outcome::Optimal)
+    return Outcome::Budget; // Bounded below: only the budget can stop it.
+  if (!objValue().isZero())
+    return Outcome::Infeasible;
+
+  // Drive the artificial out of the basis if it is still there.
+  for (unsigned R = 0; R != Rows; ++R) {
+    if (!ColIsArtificial[Basis[R]])
+      continue;
+    unsigned Entering = Cols;
+    const Rational *RowPtr = row(R);
+    for (unsigned C = 0; C != Cols; ++C) {
+      if (!ColIsArtificial[C] && !RowPtr[C].isZero()) {
+        Entering = C;
+        break;
+      }
+    }
+    if (Entering != Cols)
+      pivot(R, Entering);
+    // Otherwise the pin row is redundant; its artificial stays basic at
+    // zero, excluded from re-entry like every artificial column.
+  }
+
+  // Zero nonbasic artificial columns (same discipline as phase 2).
+  for (unsigned C = 0; C != Cols; ++C) {
+    if (!ColIsArtificial[C])
+      continue;
+    for (unsigned R = 0; R != Rows; ++R)
+      if (Basis[R] != C)
+        at(R, C) = Rational(0);
+  }
+  return Outcome::Optimal;
+}
+
+void SimplexTableau::extractPoint(std::vector<Rational> &Point) const {
+  Point.assign(NumStructural, Rational(0));
+  for (unsigned R = 0; R != Rows; ++R)
+    if (Basis[R] < NumStructural)
+      Point[Basis[R]] = rhs(R);
+}

@@ -1,0 +1,139 @@
+//===- lp/Tableau.h - Flat exact simplex tableau ----------------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dense exact-rational simplex tableau behind solveLp and the
+/// warm-started branch and bound. One flat row-major buffer replaces the
+/// old per-row std::vector<Rational> (one allocation, contiguous pivot
+/// loops, zero-skip over the pivot row's sparsity), and the class grew
+/// the warm-start operations the optimized solvers need:
+///
+///   - solveTwoPhase() replicates the original two-phase primal simplex
+///     pivot-for-pivot (Dantzig with a Bland switch, identical
+///     tie-breaks), so exact-mode callers produce bit-identical results;
+///   - addBoundRow()/tightenBoundRow() append or tighten single-variable
+///     bound rows in the current basis (branch-and-bound branches by
+///     bounds instead of copying the problem);
+///   - dualReoptimize() re-enters optimization after a bound change
+///     (the basis stays dual feasible, so the dual simplex restores
+///     primal feasibility without a phase 1);
+///   - addPinEquality() adds a lexmin level-pin row with one artificial
+///     and a mini phase 1 from the current basis, so solveLexMin reuses
+///     its feasible basis across objective levels;
+///   - setObjective()/reoptimize() swap in the next level's objective
+///     and re-minimize from the current basis.
+///
+/// Capacity for rows/columns added after build() is reserved up front so
+/// warm growth never re-layouts the buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_LP_TABLEAU_H
+#define POLYINJECT_LP_TABLEAU_H
+
+#include "lp/Simplex.h"
+
+namespace pinj {
+
+class SimplexTableau {
+public:
+  enum class Outcome { Optimal, Unbounded, Infeasible, Budget };
+
+  SimplexTableau() = default;
+
+  /// Loads \p Base's constraints followed by \p Extra (the
+  /// branch-and-bound path rows) and sets up the phase-1 basis with the
+  /// original column layout: structural | slacks (row order) |
+  /// artificials (only where needed). Reserves capacity for
+  /// \p ReserveRows extra rows and \p ReserveCols extra columns.
+  void build(const LpProblem &Base, const std::vector<LpConstraint> &Extra,
+             unsigned ReserveRows = 0, unsigned ReserveCols = 0);
+
+  /// Runs phase 1 + phase 2 for \p Objective (empty = feasibility),
+  /// replicating the reference solver's pivot sequence exactly. Leaves
+  /// the tableau at the optimal basis on Outcome::Optimal.
+  Outcome solveTwoPhase(const IntVector &Objective);
+
+  /// Swaps in a new objective over the structural variables and
+  /// re-minimizes from the current (primal feasible) basis — phase 2
+  /// only, no phase 1.
+  Outcome reoptimize(const IntVector &Objective);
+
+  /// Restores primal feasibility after a bound change with the dual
+  /// simplex; the basis must be dual feasible (it is, right after an
+  /// optimal (re)optimization). Outcome::Infeasible means the primal
+  /// problem became empty.
+  Outcome dualReoptimize();
+
+  /// Appends the row  x[Var] <= Bound  (\p Upper) or  x[Var] >= Bound,
+  /// expressed in the current basis with a fresh basic slack.
+  /// \returns the slack's column, the handle for tightenBoundRow.
+  unsigned addBoundRow(unsigned Var, bool Upper, Int Bound);
+
+  /// Tightens a bound row added by addBoundRow in place: shifts every
+  /// current right-hand side by Delta * column(SlackCol), where \p Delta
+  /// is the change of the row's original right-hand side (new bound
+  /// minus old bound for upper rows, old minus new for lower rows).
+  void tightenBoundRow(unsigned SlackCol, Int Delta);
+
+  /// Appends the lexmin pin row  Coeffs . x == Rhs  with one artificial
+  /// variable and minimizes it to zero from the current feasible basis
+  /// (the "mini phase 1"). Outcome::Infeasible when the row cannot be
+  /// satisfied.
+  Outcome addPinEquality(const IntVector &Coeffs, Int Rhs);
+
+  /// Writes the structural solution of the current basis.
+  void extractPoint(std::vector<Rational> &Point) const;
+
+  /// Pivots performed since build().
+  unsigned pivots() const { return PivotCount; }
+
+  unsigned numRows() const { return Rows; }
+  unsigned numCols() const { return Cols; }
+
+private:
+  Rational *row(unsigned R) { return Cells.data() + R * Stride; }
+  const Rational *row(unsigned R) const { return Cells.data() + R * Stride; }
+  Rational &at(unsigned R, unsigned C) { return Cells[R * Stride + C]; }
+  Rational &rhs(unsigned R) { return Cells[R * Stride + Stride - 1]; }
+  const Rational &rhs(unsigned R) const {
+    return Cells[R * Stride + Stride - 1];
+  }
+  Rational &obj(unsigned C) { return ObjRow[C]; }
+  Rational &objValue() { return ObjRow[Stride - 1]; }
+
+  /// Appends a fresh row/column pair (value cells zeroed); \returns the
+  /// new column index. Capacity must have been reserved.
+  unsigned appendRowAndColumn();
+
+  /// Expresses dense row \p Form (over structural and existing columns)
+  /// in the current basis by eliminating basic variables, writing into
+  /// the freshly appended row \p R. Scratch holds the dense row with the
+  /// right-hand side at Stride - 1.
+  void reduceAgainstBasis(std::vector<Rational> &Dense);
+
+  Outcome minimize();
+  void priceOutBasis();
+  void pivot(unsigned PivotRow, unsigned PivotCol);
+
+  unsigned Rows = 0;
+  unsigned Cols = 0;   ///< Active columns (excluding the RHS).
+  unsigned Stride = 0; ///< Row stride; RHS lives at Stride - 1.
+  unsigned RowCapacity = 0;
+  unsigned NumStructural = 0;
+  unsigned PivotCount = 0;
+  std::vector<Rational> Cells;
+  std::vector<Rational> ObjRow;
+  std::vector<unsigned> Basis;
+  std::vector<bool> ColIsArtificial;
+  std::vector<unsigned> NonZeroScratch; ///< Pivot-row sparsity pattern.
+  std::vector<Rational> DenseScratch;   ///< Row-append scratch.
+};
+
+} // namespace pinj
+
+#endif // POLYINJECT_LP_TABLEAU_H

@@ -12,6 +12,14 @@
 /// (long fused chains with big extents) genuinely need more than 64
 /// bits. Overflow aborts rather than silently wrapping.
 ///
+/// Arithmetic runs a 64-bit fast path whenever both operands fit in 64
+/// bits and every intermediate stays in range (checked with the
+/// compiler's overflow intrinsics); any overflow escalates to the
+/// 128-bit wide path. Canonical form is unique, so both paths produce
+/// bit-identical results — the wide path is a semantic no-op, only
+/// slower. The compound operators update in place instead of copying
+/// through temporaries.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef POLYINJECT_MATH_RATIONAL_H
@@ -53,15 +61,31 @@ public:
   Rational fractionalPart() const;
 
   Rational operator-() const { return fromReduced(-Num, Den); }
-  Rational operator+(const Rational &O) const;
-  Rational operator-(const Rational &O) const;
-  Rational operator*(const Rational &O) const;
-  Rational operator/(const Rational &O) const;
+  Rational operator+(const Rational &O) const {
+    Rational R(*this);
+    R += O;
+    return R;
+  }
+  Rational operator-(const Rational &O) const {
+    Rational R(*this);
+    R -= O;
+    return R;
+  }
+  Rational operator*(const Rational &O) const {
+    Rational R(*this);
+    R *= O;
+    return R;
+  }
+  Rational operator/(const Rational &O) const {
+    Rational R(*this);
+    R /= O;
+    return R;
+  }
 
-  Rational &operator+=(const Rational &O) { return *this = *this + O; }
-  Rational &operator-=(const Rational &O) { return *this = *this - O; }
-  Rational &operator*=(const Rational &O) { return *this = *this * O; }
-  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+  Rational &operator+=(const Rational &O);
+  Rational &operator-=(const Rational &O);
+  Rational &operator*=(const Rational &O);
+  Rational &operator/=(const Rational &O);
 
   bool operator==(const Rational &O) const {
     return Num == O.Num && Den == O.Den;
@@ -83,6 +107,11 @@ private:
   }
   friend Rational makeRational128(Int128 N, Int128 D);
 
+  /// Slow-path bodies shared by the compound operators.
+  void addWide(const Rational &O);
+  void mulWide(const Rational &O);
+  void divWide(const Rational &O);
+
   Int128 Num;
   Int128 Den;
 };
@@ -91,6 +120,25 @@ private:
 /// terms; aborts on 128-bit overflow of the reduction inputs.
 Rational makeRational128(Int128 N, Int128 D);
 
+namespace rational {
+
+/// Test/reference hook: while alive, every arithmetic op on this thread
+/// takes the 128-bit wide path (without bumping the escalation counter).
+/// The reference solver uses it so differential tests genuinely compare
+/// against always-wide arithmetic.
+class ScopedForceWide {
+public:
+  ScopedForceWide();
+  ~ScopedForceWide();
+
+  ScopedForceWide(const ScopedForceWide &) = delete;
+  ScopedForceWide &operator=(const ScopedForceWide &) = delete;
+
+private:
+  bool Prev;
+};
+
+} // namespace rational
 } // namespace pinj
 
 #endif // POLYINJECT_MATH_RATIONAL_H

@@ -3,7 +3,9 @@
 #include "sched/ConstraintBuilders.h"
 
 #include "math/LinearAlgebra.h"
+#include "obs/Metrics.h"
 #include "poly/Farkas.h"
+#include "support/FailPoint.h"
 
 using namespace pinj;
 
@@ -77,6 +79,44 @@ void pinj::addProximity(DimIlp &Ilp, const Kernel &K,
     Psi.Cols[D.Rel.space().NumDims + P].addTerm(Ilp.U[P], 1);
   Psi.constCoeff().addTerm(Ilp.W, 1);
   addFarkasNonNegative(Ilp.Builder, D.Rel, Psi, "p");
+}
+
+namespace {
+
+/// Runs \p Add and memoizes the variables/rows it appended; replays
+/// them (with multiplier ids rebased) on later hits for the same key.
+template <typename AddFn>
+void cachedFarkasBlock(
+    std::map<std::pair<unsigned, int>, IlpBuilder::ConstraintBlock> &Blocks,
+    std::pair<unsigned, int> Key, IlpBuilder &Builder, AddFn Add) {
+  auto It = Blocks.find(Key);
+  if (It != Blocks.end()) {
+    static obs::Counter &Hits =
+        obs::metrics().counter("sched.farkas_cache_hits");
+    Hits.inc();
+    Builder.replayBlock(It->second);
+    return;
+  }
+  unsigned VarMark = Builder.numVars();
+  unsigned RowMark = Builder.numConstraints();
+  Add();
+  Blocks.emplace(Key, Builder.captureBlock(VarMark, RowMark));
+}
+
+} // namespace
+
+void pinj::FarkasCache::addValidity(DimIlp &Ilp, const Kernel &K,
+                                    unsigned Dep,
+                                    const DependenceRelation &D) {
+  cachedFarkasBlock(Blocks, {Dep, 0}, Ilp.Builder,
+                    [&] { pinj::addValidity(Ilp, K, D); });
+}
+
+void pinj::FarkasCache::addProximity(DimIlp &Ilp, const Kernel &K,
+                                     unsigned Dep,
+                                     const DependenceRelation &D) {
+  cachedFarkasBlock(Blocks, {Dep, 1}, Ilp.Builder,
+                    [&] { pinj::addProximity(Ilp, K, D); });
 }
 
 void pinj::addProgression(DimIlp &Ilp, const Kernel &K,

@@ -27,6 +27,8 @@
 #include "sched/InfluenceTree.h"
 #include "sched/Schedule.h"
 
+#include <map>
+
 namespace pinj {
 
 /// Tunables of the scheduling construction.
@@ -93,6 +95,32 @@ void addValidity(DimIlp &Ilp, const Kernel &K, const DependenceRelation &D);
 /// Adds the reuse distance bound phi_T - phi_S <= u.p + w over \p D.Rel
 /// (paper Eq. (2), Farkas-linearized).
 void addProximity(DimIlp &Ilp, const Kernel &K, const DependenceRelation &D);
+
+/// Memoizes the Farkas expansion of validity/proximity blocks per
+/// dependence relation. Within one scheduling construction the expanded
+/// rows of a relation are invariant across dimensions and re-attempts:
+/// makeDimIlp allocates the statement/u/w variables with identical ids
+/// every time, and the expansion depends only on those ids and the
+/// relation itself. The first request runs the real Gauss elimination +
+/// multiplier introduction and captures the resulting block; later
+/// requests replay the captured rows with only the multiplier ids
+/// rebased, skipping the whole polyhedral computation. Not usable for
+/// the Feautrier path, whose satisfaction variable gets a fresh id per
+/// attempt inside the block's referenced prefix.
+class FarkasCache {
+public:
+  /// Equivalent to addValidity(Ilp, K, D) where \p Dep identifies D
+  /// stably across calls (its index in the construction's relation
+  /// list).
+  void addValidity(DimIlp &Ilp, const Kernel &K, unsigned Dep,
+                   const DependenceRelation &D);
+  /// Equivalent to addProximity(Ilp, K, D); same keying as addValidity.
+  void addProximity(DimIlp &Ilp, const Kernel &K, unsigned Dep,
+                    const DependenceRelation &D);
+
+private:
+  std::map<std::pair<unsigned, int>, IlpBuilder::ConstraintBlock> Blocks;
+};
 
 /// Adds progression constraints for statement \p Stmt: Eq. (3) and the
 /// orthogonal-subspace constraints Eq. (4) derived from the rows already

@@ -282,14 +282,14 @@ private:
       for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S)
         addProgression(Ilp, K, Partial, S);
     for (unsigned Dep : Active)
-      addValidity(Ilp, K, AllDeps[Dep]);
+      Farkas.addValidity(Ilp, K, Dep, AllDeps[Dep]);
     // Proximity: active flow relations plus all input relations.
     for (unsigned Dep : Active)
       if (AllDeps[Dep].Kind == DepKind::Flow)
-        addProximity(Ilp, K, AllDeps[Dep]);
+        Farkas.addProximity(Ilp, K, Dep, AllDeps[Dep]);
     for (unsigned I = 0, E = AllDeps.size(); I != E; ++I)
       if (AllDeps[I].Kind == DepKind::Input)
-        addProximity(Ilp, K, AllDeps[I]);
+        Farkas.addProximity(Ilp, K, I, AllDeps[I]);
     if (Node)
       addInfluence(Ilp, K, *Node, Partial, Partial.Dims.size());
     addObjectives(Ilp, K, Options, Node, Partial.Dims.size());
@@ -552,6 +552,10 @@ private:
   const InfluenceNode *ReachedLeaf = nullptr;
   SchedulerStats Stats;
   DimIlp LastIlp;
+  /// Farkas expansions are invariant per relation within a construction
+  /// (statement variable ids are fixed by makeDimIlp); the cache replays
+  /// them across dimensions and re-attempts.
+  FarkasCache Farkas;
 };
 
 } // namespace
