@@ -2,6 +2,7 @@
 
 #include "influence/TreeBuilder.h"
 
+#include "obs/Journal.h"
 #include "support/FailPoint.h"
 
 using namespace pinj;
@@ -118,5 +119,11 @@ InfluenceTree pinj::buildInfluenceTree(const Kernel &K,
     emitBranch(K, SinkId, Scenarios[I], /*Fused=*/false, &Tree.root(), I);
     ++Branches;
   }
+  if (obs::Journal::fastEnabled())
+    obs::JournalEvent("influence_tree")
+        .field("scenarios", Scenarios.size())
+        .field("branches", Branches)
+        .field("fusable", CanFuse)
+        .field("sink", K.Stmts[SinkId].Name);
   return Tree;
 }

@@ -7,6 +7,7 @@
 #include "support/FailPoint.h"
 #include "support/Status.h"
 
+#include <algorithm>
 #include <optional>
 
 using namespace pinj;
@@ -49,6 +50,8 @@ public:
         break;
       }
       ++Nodes;
+      MaxDepth = std::max(MaxDepth,
+                          static_cast<unsigned>(PathRows.size()));
       LpResult Relaxed = solveLpExt(Problem.Lp, PathRows);
       if (Relaxed.Status == LpResult::BudgetExceeded) {
         Exhausted = true;
@@ -62,8 +65,10 @@ public:
       if (Relaxed.Status == LpResult::Unbounded)
         raiseError(StatusCode::SolverError, "lp.ilp",
                    "unbounded ILP relaxation");
-      if (Incumbent && Relaxed.Value >= IncumbentValue)
+      if (Incumbent && Relaxed.Value >= IncumbentValue) {
+        ++Pruned;
         continue; // Bound: cannot improve on the incumbent.
+      }
 
       unsigned Fractional = findFractional(Relaxed.Point);
       if (Fractional == Problem.numVars()) {
@@ -71,6 +76,7 @@ public:
         if (!Incumbent || Relaxed.Value < IncumbentValue) {
           Incumbent = Relaxed.Point;
           IncumbentValue = Relaxed.Value;
+          ++IncumbentUpdates;
         }
         continue;
       }
@@ -100,6 +106,9 @@ public:
 
     IlpResult Result;
     Result.NodesExplored = Nodes;
+    Result.NodesPruned = Pruned;
+    Result.IncumbentUpdates = IncumbentUpdates;
+    Result.MaxDepth = MaxDepth;
     if (Exhausted) {
       // The search stopped early: an incumbent (if any) is feasible but
       // unproven, and the absence of one proves nothing.
@@ -135,6 +144,9 @@ private:
   std::optional<std::vector<Rational>> Incumbent;
   Rational IncumbentValue;
   unsigned Nodes = 0;
+  unsigned Pruned = 0;
+  unsigned IncumbentUpdates = 0;
+  unsigned MaxDepth = 0;
   bool Exhausted = false;
 };
 
@@ -148,6 +160,12 @@ IlpResult pinj::solveIlp(const IlpProblem &Problem) {
   static obs::Counter &Nodes = obs::metrics().counter("lp.ilp_nodes");
   static obs::Histogram &NodesPerSolve =
       obs::metrics().histogram("lp.ilp_nodes_per_solve");
+  static obs::Counter &PrunedTotal =
+      obs::metrics().counter("lp.bnb_pruned");
+  static obs::Counter &IncumbentTotal =
+      obs::metrics().counter("lp.bnb_incumbent_updates");
+  static obs::Histogram &MaxDepthPerSolve =
+      obs::metrics().histogram("lp.bnb_max_depth");
   Solves.inc();
   failpoint::hit("lp.ilp");
   BranchAndBound Solver(Problem);
@@ -156,5 +174,8 @@ IlpResult pinj::solveIlp(const IlpProblem &Problem) {
     Failures.inc();
   Nodes.add(Result.NodesExplored);
   NodesPerSolve.observe(Result.NodesExplored);
+  PrunedTotal.add(Result.NodesPruned);
+  IncumbentTotal.add(Result.IncumbentUpdates);
+  MaxDepthPerSolve.observe(Result.MaxDepth);
   return Result;
 }

@@ -49,7 +49,15 @@ struct IlpResult {
   StatusTy Status = Infeasible;
   Rational Value;
   std::vector<Rational> Point;
-  unsigned NodesExplored = 0; ///< Branch-and-bound statistics.
+
+  /// Branch-and-bound statistics: nodes whose relaxation was solved,
+  /// nodes discarded by the incumbent bound before branching, times the
+  /// incumbent improved, and the deepest root-to-node path visited. The
+  /// journal's solve_end events aggregate these per scheduler dimension.
+  unsigned NodesExplored = 0;
+  unsigned NodesPruned = 0;
+  unsigned IncumbentUpdates = 0;
+  unsigned MaxDepth = 0;
 
   bool isOptimal() const { return Status == Optimal; }
 };

@@ -21,10 +21,12 @@
 
 #include "lp/Budget.h"
 #include "lp/Tableau.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "support/FailPoint.h"
 #include "support/Status.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
@@ -40,6 +42,11 @@ struct LpMetrics {
   obs::Counter &IlpFailures;
   obs::Counter &IlpNodes;
   obs::Histogram &NodesPerSolve;
+  obs::Counter &BnbPruned;
+  obs::Counter &BnbIncumbents;
+  obs::Histogram &BnbMaxDepth;
+  obs::Histogram &NodesPerDim;
+  obs::Histogram &PivotsPerDim;
 };
 
 LpMetrics &lpMetrics() {
@@ -49,7 +56,12 @@ LpMetrics &lpMetrics() {
                      obs::metrics().counter("lp.ilp_solves"),
                      obs::metrics().counter("lp.ilp_failures"),
                      obs::metrics().counter("lp.ilp_nodes"),
-                     obs::metrics().histogram("lp.ilp_nodes_per_solve")};
+                     obs::metrics().histogram("lp.ilp_nodes_per_solve"),
+                     obs::metrics().counter("lp.bnb_pruned"),
+                     obs::metrics().counter("lp.bnb_incumbent_updates"),
+                     obs::metrics().histogram("lp.bnb_max_depth"),
+                     obs::metrics().histogram("lp.nodes_per_dim"),
+                     obs::metrics().histogram("lp.pivots_per_dim")};
   return M;
 }
 
@@ -83,6 +95,9 @@ public:
     NodeCtx Root;
     IlpResult Result;
     unsigned Nodes = 0;
+    unsigned Pruned = 0;
+    unsigned IncumbentUpdates = 0;
+    unsigned MaxDepth = 0;
     bool Exhausted = false;
 
     // Root relaxation: full two-phase once, re-priced phase 2 after.
@@ -103,6 +118,7 @@ public:
       }
       M.SimplexPivots.add(Tab.pivots() - PivotsBefore);
       M.PivotsPerSolve.observe(Tab.pivots() - PivotsBefore);
+      addThreadSimplexPivots(Tab.pivots() - PivotsBefore);
       switch (O) {
       case SimplexTableau::Outcome::Budget:
         Exhausted = true;
@@ -132,10 +148,11 @@ public:
       unsigned Var = 0;
       Int Bound = 0;
       bool Upper = false;
+      unsigned Depth = 0; ///< Root-to-node branch count, for stats.
     };
     std::vector<WorkItem> Work;
 
-    auto evaluate = [&](NodeCtx &Ctx, bool IsRoot) -> bool {
+    auto evaluate = [&](NodeCtx &Ctx, unsigned Depth) -> bool {
       // \returns false when the warm path must be abandoned.
       std::vector<Rational> Point;
       Ctx.T.extractPoint(Point);
@@ -143,8 +160,10 @@ public:
       for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
         if (!Objective.empty() && Objective[V] != 0)
           Value += Rational(Objective[V]) * Point[V];
-      if (Incumbent && Value >= IncumbentValue)
+      if (Incumbent && Value >= IncumbentValue) {
+        ++Pruned;
         return true; // Pruned.
+      }
       unsigned Fractional = Problem.numVars();
       for (unsigned V = 0, E = Problem.numVars(); V != E; ++V)
         if (Problem.IsInteger[V] && !Point[V].isInteger()) {
@@ -155,6 +174,7 @@ public:
         if (!Incumbent || Value < IncumbentValue) {
           Incumbent = std::move(Point);
           IncumbentValue = Value;
+          ++IncumbentUpdates;
         }
         return true;
       }
@@ -162,11 +182,11 @@ public:
       // Up branch (popped second) gets a copy; the down branch (popped
       // first) reuses this node's tableau.
       auto UpCtx = std::make_unique<NodeCtx>(Ctx);
-      Work.push_back(
-          {std::move(UpCtx), Fractional, checkedAdd(Floor, 1), false});
+      Work.push_back({std::move(UpCtx), Fractional, checkedAdd(Floor, 1),
+                      false, Depth + 1});
       auto DownCtx = std::make_unique<NodeCtx>(std::move(Ctx));
-      Work.push_back({std::move(DownCtx), Fractional, Floor, true});
-      (void)IsRoot;
+      Work.push_back({std::move(DownCtx), Fractional, Floor, true,
+                      Depth + 1});
       return true;
     };
 
@@ -174,7 +194,7 @@ public:
       Root.T = Tab; // Branching copies; the member stays pristine.
       Root.Le.assign(Problem.numVars(), BoundInfo());
       Root.Ge.assign(Problem.numVars(), BoundInfo());
-      if (!evaluate(Root, true))
+      if (!evaluate(Root, 0))
         return std::nullopt;
     }
 
@@ -203,12 +223,14 @@ public:
         break;
       }
       ++Nodes;
+      MaxDepth = std::max(MaxDepth, Item.Depth);
       unsigned PivotsBefore = Ctx.T.pivots();
       M.SimplexSolves.inc();
       failpoint::hit("lp.simplex");
       SimplexTableau::Outcome O = Ctx.T.dualReoptimize();
       M.SimplexPivots.add(Ctx.T.pivots() - PivotsBefore);
       M.PivotsPerSolve.observe(Ctx.T.pivots() - PivotsBefore);
+      addThreadSimplexPivots(Ctx.T.pivots() - PivotsBefore);
       if (O == SimplexTableau::Outcome::Budget) {
         if (budget::anyTripped()) {
           Exhausted = true;
@@ -222,13 +244,19 @@ public:
       }
       if (O == SimplexTableau::Outcome::Infeasible)
         continue;
-      if (!evaluate(Ctx, false))
+      if (!evaluate(Ctx, Item.Depth))
         return std::nullopt;
     }
 
     Result.NodesExplored = Nodes;
+    Result.NodesPruned = Pruned;
+    Result.IncumbentUpdates = IncumbentUpdates;
+    Result.MaxDepth = MaxDepth;
     M.IlpNodes.add(Nodes);
     M.NodesPerSolve.observe(Nodes);
+    M.BnbPruned.add(Pruned);
+    M.BnbIncumbents.add(IncumbentUpdates);
+    M.BnbMaxDepth.observe(MaxDepth);
     if (Exhausted) {
       Result.Status = IlpResult::BudgetExceeded;
       if (Incumbent) {
@@ -279,13 +307,43 @@ private:
 
 } // namespace
 
+namespace {
+
+/// Per-dimension attribution: one solveLexMin call is one scheduler
+/// dimension's solve, so the pivot/node totals it accumulated feed the
+/// lp.*_per_dim histograms and the journal's solve_end record.
+void recordDimensionSolve(const IlpResult &R, unsigned Levels,
+                          std::uint64_t Pivots) {
+  LpMetrics &M = lpMetrics();
+  M.NodesPerDim.observe(R.NodesExplored);
+  M.PivotsPerDim.observe(Pivots);
+  if (!obs::Journal::fastEnabled())
+    return;
+  const char *Status = R.Status == IlpResult::Optimal      ? "optimal"
+                       : R.Status == IlpResult::Infeasible ? "infeasible"
+                                                           : "budget";
+  obs::JournalEvent("solve_end")
+      .field("levels", Levels)
+      .field("nodes", R.NodesExplored)
+      .field("pruned", R.NodesPruned)
+      .field("incumbents", R.IncumbentUpdates)
+      .field("max_depth", R.MaxDepth)
+      .field("pivots", static_cast<unsigned long long>(Pivots))
+      .field("status", Status);
+}
+
+} // namespace
+
 IlpResult pinj::solveLexMin(IlpProblem Problem,
                             const std::vector<LexObjective> &Objectives) {
   IlpResult Last;
+  const std::uint64_t PivotsBefore = threadSimplexPivots();
   if (Objectives.empty()) {
     // Pure feasibility.
     Problem.Lp.Objective.assign(Problem.numVars(), 0);
-    return solveIlp(Problem);
+    Last = solveIlp(Problem);
+    recordDimensionSolve(Last, 0, threadSimplexPivots() - PivotsBefore);
+    return Last;
   }
 
   // Intermediate levels only contribute their (unique) optimal value to
@@ -295,6 +353,9 @@ IlpResult pinj::solveLexMin(IlpProblem Problem,
   WarmLexSolver Warm(Problem, NumLevels);
 
   unsigned TotalNodes = 0;
+  unsigned TotalPruned = 0;
+  unsigned TotalIncumbents = 0;
+  unsigned MaxDepth = 0;
   for (unsigned L = 0; L != NumLevels; ++L) {
     const LexObjective &Level = Objectives[L];
     assert(Level.Coeffs.size() == Problem.numVars() &&
@@ -310,8 +371,16 @@ IlpResult pinj::solveLexMin(IlpProblem Problem,
       Last = solveIlp(Problem);
     }
     TotalNodes += Last.NodesExplored;
+    TotalPruned += Last.NodesPruned;
+    TotalIncumbents += Last.IncumbentUpdates;
+    MaxDepth = std::max(MaxDepth, Last.MaxDepth);
     if (!Last.isOptimal()) {
       Last.NodesExplored = TotalNodes;
+      Last.NodesPruned = TotalPruned;
+      Last.IncumbentUpdates = TotalIncumbents;
+      Last.MaxDepth = MaxDepth;
+      recordDimensionSolve(Last, NumLevels,
+                           threadSimplexPivots() - PivotsBefore);
       return Last;
     }
     // Pin this level at its optimum: q * (c . x) == p for Value == p/q.
@@ -325,5 +394,10 @@ IlpResult pinj::solveLexMin(IlpProblem Problem,
     Problem.Lp.addEq(std::move(Pinned), checkedNeg(P));
   }
   Last.NodesExplored = TotalNodes;
+  Last.NodesPruned = TotalPruned;
+  Last.IncumbentUpdates = TotalIncumbents;
+  Last.MaxDepth = MaxDepth;
+  recordDimensionSolve(Last, NumLevels,
+                       threadSimplexPivots() - PivotsBefore);
   return Last;
 }

@@ -9,6 +9,13 @@
 
 using namespace pinj;
 
+namespace {
+thread_local std::uint64_t TlPivots = 0;
+} // namespace
+
+std::uint64_t pinj::threadSimplexPivots() { return TlPivots; }
+void pinj::addThreadSimplexPivots(std::uint64_t N) { TlPivots += N; }
+
 void LpProblem::addUpperBound(unsigned Var, Int Bound) {
   assert(Var < NumVars && "bounded variable out of range");
   IntVector Coeffs(NumVars, 0);
@@ -35,6 +42,7 @@ LpResult pinj::solveLpExt(const LpProblem &Problem,
   SimplexTableau::Outcome Outcome = T.solveTwoPhase(Problem.Objective);
   SimplexPivots.add(T.pivots());
   PivotsPerSolve.observe(T.pivots());
+  TlPivots += T.pivots();
 
   LpResult Result;
   switch (Outcome) {

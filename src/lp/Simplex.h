@@ -19,6 +19,7 @@
 #include "math/Matrix.h"
 #include "math/Rational.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace pinj {
@@ -86,6 +87,15 @@ LpResult solveLp(const LpProblem &Problem);
 /// rows through here.
 LpResult solveLpExt(const LpProblem &Problem,
                     const std::vector<LpConstraint> &ExtraRows);
+
+/// Simplex pivots performed by THIS thread since it started. The global
+/// `lp.simplex_pivots` counter mixes all batch workers together; the
+/// lexmin driver diffs this tally around a dimension's solve to
+/// attribute pivots exactly per dimension. Both the cold path
+/// (solveLpExt) and the warm tableau sites add to it.
+std::uint64_t threadSimplexPivots();
+/// Adds \p N pivots to this thread's tally (warm-path tableau sites).
+void addThreadSimplexPivots(std::uint64_t N);
 
 } // namespace pinj
 

@@ -1,0 +1,76 @@
+//===- obs/Exposition.h - Prometheus-style metrics exposition ---*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text exposition of the metrics registry in the Prometheus format, and
+/// a periodic snapshot writer so a long-lived compilation service can be
+/// scraped (by pointing the scraper at a file refreshed every interval)
+/// instead of dumping metrics only at process exit.
+///
+/// All metric names get the `pinj_` fleet prefix and are sanitized to
+/// the exposition charset ('.' becomes '_'). Counters render as a single
+/// sample with a `# TYPE ... counter` header; histograms render as the
+/// conventional cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`, using the fixed quarter-octave bounds from obs::Histogram
+/// so scraped series are mergeable across processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_OBS_EXPOSITION_H
+#define POLYINJECT_OBS_EXPOSITION_H
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace pinj {
+namespace obs {
+
+struct MetricsSnapshot;
+
+/// Renders \p S in the Prometheus text exposition format (see
+/// MetricsRegistry::renderExposition for the convenience entry point).
+std::string renderExposition(const MetricsSnapshot &S);
+
+/// Sanitizes \p Name to a valid exposition metric name: `pinj_` prefix,
+/// every character outside [a-zA-Z0-9_] replaced by '_'.
+std::string expositionName(const std::string &Name);
+
+/// Background thread that rewrites a file with the current exposition
+/// every interval (and once more on stop, so short runs still leave a
+/// final snapshot). The write is rename-atomic: scrapers never observe a
+/// half-written file.
+class ExpositionWriter {
+public:
+  ExpositionWriter() = default;
+  ~ExpositionWriter() { stop(); }
+  ExpositionWriter(const ExpositionWriter &) = delete;
+  ExpositionWriter &operator=(const ExpositionWriter &) = delete;
+
+  /// Starts the writer thread; no-op if already running.
+  void start(std::string Path, unsigned IntervalMs);
+  /// Stops the thread after one final write. Safe to call repeatedly.
+  void stop();
+  bool running() const { return Running; }
+
+private:
+  void writeOnce() const;
+
+  std::string Path;
+  unsigned IntervalMs = 0;
+  bool Running = false;
+  bool StopRequested = false;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::thread Thread;
+};
+
+} // namespace obs
+} // namespace pinj
+
+#endif // POLYINJECT_OBS_EXPOSITION_H

@@ -135,6 +135,14 @@ private:
       fail("malformed number");
       return false;
     }
+    // JSON numbers have no infinity; a literal that overflows double
+    // ("1e999") would otherwise leak ±inf into consumers that assume
+    // finite values (percentile math, regression thresholds).
+    if (!std::isfinite(V)) {
+      Pos = Start;
+      fail("number out of range");
+      return false;
+    }
     Out.Kind = Value::Number;
     Out.Num = V;
     return true;
@@ -302,6 +310,11 @@ std::optional<Value> pinj::obs::json::parse(const std::string &Text,
 std::string pinj::obs::json::escape(const std::string &S) {
   std::string Out;
   Out.reserve(S.size());
+  escapeTo(Out, S);
+  return Out;
+}
+
+void pinj::obs::json::escapeTo(std::string &Out, const std::string &S) {
   for (char C : S) {
     switch (C) {
     case '"':  Out += "\\\""; break;
@@ -322,7 +335,6 @@ std::string pinj::obs::json::escape(const std::string &S) {
       }
     }
   }
-  return Out;
 }
 
 std::string pinj::obs::json::number(double V) {

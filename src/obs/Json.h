@@ -58,6 +58,11 @@ std::optional<Value> parse(const std::string &Text, std::string &Error);
 /// Escapes \p S for inclusion inside a JSON string literal (no quotes).
 std::string escape(const std::string &S);
 
+/// Appends the escaped form of \p S to \p Out without allocating a
+/// temporary (the journal emits thousands of records per second; its
+/// serializer builds each line with this).
+void escapeTo(std::string &Out, const std::string &S);
+
 /// Renders a double the way the writers in this subsystem do: fixed
 /// notation, trimmed, never "nan"/"inf" (clamped to 0).
 std::string number(double V);

@@ -11,6 +11,73 @@
 using namespace pinj;
 using namespace pinj::obs;
 
+double HistogramSummary::percentile(double Q) const {
+  if (Count == 0 || Buckets.empty())
+    return 0;
+  Q = std::clamp(Q, 0.0, 100.0);
+  // Nearest-rank target in [1, Count].
+  double Target = Q / 100.0 * static_cast<double>(Count);
+  if (Target < 1)
+    Target = 1;
+  std::uint64_t Cum = 0;
+  for (unsigned I = 0; I < Buckets.size(); ++I) {
+    if (Buckets[I] == 0)
+      continue;
+    std::uint64_t Prev = Cum;
+    Cum += Buckets[I];
+    if (static_cast<double>(Cum) < Target)
+      continue;
+    double Frac = (Target - static_cast<double>(Prev)) /
+                  static_cast<double>(Buckets[I]);
+    double Lo = Histogram::bucketLowerBound(I);
+    double Hi = Histogram::bucketUpperBound(I);
+    // Linear interpolation in the [0,1) bucket, geometric in the log
+    // buckets (constant relative step matches the bucket scheme).
+    double V = I == 0 ? Frac * Hi : Lo * std::pow(Hi / Lo, Frac);
+    return std::clamp(V, Min, Max);
+  }
+  return Max;
+}
+
+void HistogramSummary::merge(const HistogramSummary &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    Min = Other.Min;
+    Max = Other.Max;
+  } else {
+    Min = std::min(Min, Other.Min);
+    Max = std::max(Max, Other.Max);
+  }
+  Count += Other.Count;
+  Sum += Other.Sum;
+  if (!Other.Buckets.empty()) {
+    if (Buckets.size() < Other.Buckets.size())
+      Buckets.resize(Other.Buckets.size(), 0);
+    for (std::size_t I = 0; I < Other.Buckets.size(); ++I)
+      Buckets[I] += Other.Buckets[I];
+  }
+}
+
+unsigned Histogram::bucketIndex(double Sample) {
+  if (!(Sample >= 1))
+    return 0;
+  int I = static_cast<int>(std::floor(std::log2(Sample) * 4.0)) + 1;
+  if (I < 1)
+    I = 1;
+  if (I >= static_cast<int>(NumBuckets))
+    I = NumBuckets - 1;
+  return static_cast<unsigned>(I);
+}
+
+double Histogram::bucketLowerBound(unsigned I) {
+  return I == 0 ? 0.0 : std::exp2((I - 1) / 4.0);
+}
+
+double Histogram::bucketUpperBound(unsigned I) {
+  return I == 0 ? 1.0 : std::exp2(I / 4.0);
+}
+
 void Histogram::observe(double Sample) {
   std::lock_guard<std::mutex> L(Mu);
   if (N == 0) {
@@ -21,20 +88,14 @@ void Histogram::observe(double Sample) {
   }
   ++N;
   Sum += Sample;
-  unsigned Bucket = 0;
-  if (Sample >= 1) {
-    double Bound = 1;
-    while (Bucket + 1 < NumBuckets && Sample >= Bound) {
-      ++Bucket;
-      Bound *= 2;
-    }
-  }
-  ++Buckets[Bucket];
+  ++Buckets[bucketIndex(Sample)];
 }
 
 HistogramSummary Histogram::summary() const {
   std::lock_guard<std::mutex> L(Mu);
-  return {N, Sum, N ? Min : 0, N ? Max : 0};
+  HistogramSummary S{N, Sum, N ? Min : 0, N ? Max : 0, {}};
+  S.Buckets.assign(Buckets, Buckets + NumBuckets);
+  return S;
 }
 
 void Histogram::reset() {
@@ -67,6 +128,11 @@ MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot &Before) const {
     if (const HistogramSummary *Base = Before.histogram(Name)) {
       D.Count = Summary.Count >= Base->Count ? Summary.Count - Base->Count : 0;
       D.Sum = Summary.Sum - Base->Sum;
+      for (std::size_t I = 0;
+           I < D.Buckets.size() && I < Base->Buckets.size(); ++I)
+        D.Buckets[I] = D.Buckets[I] >= Base->Buckets[I]
+                           ? D.Buckets[I] - Base->Buckets[I]
+                           : 0;
     }
     Delta.Histograms[Name] = D;
   }
@@ -92,7 +158,22 @@ std::string MetricsSnapshot::json() const {
            "\":{\"count\":" + std::to_string(H.Count) +
            ",\"sum\":" + json::number(H.Sum) +
            ",\"min\":" + json::number(H.Min) +
-           ",\"max\":" + json::number(H.Max) + '}';
+           ",\"max\":" + json::number(H.Max) +
+           ",\"p50\":" + json::number(H.percentile(50)) +
+           ",\"p90\":" + json::number(H.percentile(90)) +
+           ",\"p99\":" + json::number(H.percentile(99)) +
+           ",\"buckets\":{";
+    bool FirstBucket = true;
+    for (std::size_t I = 0; I < H.Buckets.size(); ++I) {
+      if (H.Buckets[I] == 0)
+        continue;
+      if (!FirstBucket)
+        Out += ',';
+      FirstBucket = false;
+      Out += '"' + std::to_string(I) +
+             "\":" + std::to_string(H.Buckets[I]);
+    }
+    Out += "}}";
   }
   Out += "}}";
   return Out;

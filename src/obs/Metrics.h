@@ -32,6 +32,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace pinj {
 namespace obs {
@@ -50,20 +51,56 @@ private:
   std::atomic<std::uint64_t> Val{0};
 };
 
-/// The diffable summary of one histogram.
+/// The diffable, mergeable summary of one histogram. Buckets use the
+/// fixed quarter-octave scheme described on Histogram, so summaries from
+/// different processes (or different runs, via the JSON sidecars) merge
+/// exactly and percentile estimates survive aggregation.
 struct HistogramSummary {
   std::uint64_t Count = 0;
   double Sum = 0;
   double Min = 0;
   double Max = 0;
+  /// Per-bucket counts; empty when the source carried no bucket data
+  /// (e.g. a summary parsed from an old sidecar). Size is
+  /// Histogram::NumBuckets otherwise.
+  std::vector<std::uint64_t> Buckets;
+
+  double mean() const { return Count ? Sum / static_cast<double>(Count) : 0; }
+
+  /// Estimates the \p Q-th percentile (Q in [0,100]) by walking the
+  /// cumulative bucket counts and interpolating geometrically inside the
+  /// selected bucket; the estimate is clamped to [Min, Max], so with a
+  /// single sample every percentile is exact. Returns 0 when Count == 0
+  /// or no bucket data is present. Relative error is bounded by the
+  /// quarter-octave bucket width (~19%) and is typically far smaller.
+  double percentile(double Q) const;
+
+  /// Accumulates \p Other into this summary. Exact for count/sum/
+  /// min/max/buckets: merging is associative and commutative, so
+  /// fleet-level aggregation order does not matter.
+  void merge(const HistogramSummary &Other);
 };
 
-/// Count/sum/min/max plus power-of-two buckets over nonnegative samples.
-/// Guarded by a per-histogram mutex (observations are rare compared to
-/// counter increments).
+/// Count/sum/min/max plus fixed log-scale buckets over nonnegative
+/// samples. Bucket 0 holds samples < 1; bucket I >= 1 holds samples in
+/// [2^((I-1)/4), 2^(I/4)) — quarter-octave resolution, so percentile
+/// estimates carry at most ~19% relative error while summaries from any
+/// two processes remain mergeable bucket-by-bucket (the scheme is fixed,
+/// never adapted to data). 256 buckets span [1, 2^63.75), enough for
+/// nanosecond-scale samples up to hours. Guarded by a per-histogram
+/// mutex (observations are rare compared to counter increments).
 class Histogram {
 public:
-  static constexpr unsigned NumBuckets = 64;
+  static constexpr unsigned NumBuckets = 256;
+
+  /// The bucket index \p Sample falls into.
+  static unsigned bucketIndex(double Sample);
+  /// Inclusive lower bound of bucket \p I (0 for bucket 0).
+  static double bucketLowerBound(unsigned I);
+  /// Exclusive upper bound of bucket \p I (1 for bucket 0); the last
+  /// bucket reports its nominal bound although it also absorbs larger
+  /// samples.
+  static double bucketUpperBound(unsigned I);
 
   void observe(double Sample);
 
@@ -75,13 +112,12 @@ public:
     std::lock_guard<std::mutex> L(Mu);
     return N ? Sum / static_cast<double>(N) : 0;
   }
-  /// Samples in bucket \p I; bucket I holds samples < 2^I not placed in
-  /// an earlier bucket (bucket 0: samples < 1).
+  /// Samples in bucket \p I.
   std::uint64_t bucket(unsigned I) const {
     std::lock_guard<std::mutex> L(Mu);
     return Buckets[I];
   }
-  /// One consistent view of count/sum/min/max.
+  /// One consistent view of count/sum/min/max/buckets.
   HistogramSummary summary() const;
   void reset();
 
@@ -105,11 +141,14 @@ struct MetricsSnapshot {
   const HistogramSummary *histogram(const std::string &Name) const;
 
   /// Per-entry difference: this minus \p Before (entries absent from
-  /// Before count from zero). Histogram Min/Max keep this snapshot's
-  /// values (extrema are not diffable).
+  /// Before count from zero). Histogram buckets diff element-wise;
+  /// Min/Max keep this snapshot's values (extrema are not diffable).
   MetricsSnapshot since(const MetricsSnapshot &Before) const;
 
-  /// {"counters":{...},"histograms":{"n":{"count":..,"sum":..,...}}}.
+  /// {"counters":{...},"histograms":{"n":{"count":..,"sum":..,"min":..,
+  /// "max":..,"p50":..,"p90":..,"p99":..,"buckets":{"12":3,...}}}}.
+  /// Buckets are emitted sparsely (nonzero only) so sidecars stay small
+  /// while polyinject-stats can still merge them exactly.
   std::string json() const;
 
   /// A compact aligned "name  value" text table of nonzero entries.
@@ -131,6 +170,13 @@ public:
   Histogram &histogram(const std::string &Name);
 
   MetricsSnapshot snapshot() const;
+
+  /// Renders the current snapshot in the Prometheus text exposition
+  /// format: counters as `pinj_<name> <value>` with TYPE comments,
+  /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+  /// `_count`. Metric names are sanitized ('.' and other non-identifier
+  /// characters become '_'). Implemented in obs/Exposition.cpp.
+  std::string renderExposition() const;
 
   /// Zeroes every value in place; references stay valid.
   void reset();

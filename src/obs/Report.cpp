@@ -23,6 +23,52 @@ void appendConfig(std::string &Out, const ConfigRecord &C) {
 
 } // namespace
 
+std::string obs::renderOperatorRecord(const OperatorRecord &Op) {
+  std::string Out;
+  Out += "{\"name\":\"" + json::escape(Op.Name) + '"';
+  Out += ",\"request_id\":\"" + json::escape(Op.RequestId) + '"';
+  Out += ",\"influenced\":";
+  Out += Op.Influenced ? "true" : "false";
+  Out += ",\"vec_eligible\":";
+  Out += Op.VecEligible ? "true" : "false";
+  Out += ",\"validated\":";
+  Out += Op.Validated ? "true" : "false";
+  Out += ",\"cache_hit\":";
+  Out += Op.CacheHit ? "true" : "false";
+  Out += ",\"tuned\":";
+  Out += Op.Tuned ? "true" : "false";
+  if (Op.Tuned) {
+    Out += ",\"tuning\":{\"encoding\":\"" + json::escape(Op.TuneEncoding) +
+           '"';
+    Out += ",\"predicted_us\":" + json::number(Op.TunePredictedUs);
+    Out += ",\"from_db\":";
+    Out += Op.TuneFromDb ? "true" : "false";
+    Out += ",\"strategy\":\"" + json::escape(Op.TuneStrategy) + "\"}";
+  }
+  Out += ",\"configs\":[";
+  bool FirstCfg = true;
+  for (const ConfigRecord &C : Op.Configs) {
+    if (!FirstCfg)
+      Out += ',';
+    FirstCfg = false;
+    appendConfig(Out, C);
+  }
+  Out += "],\"degradations\":[";
+  bool FirstDeg = true;
+  for (const DegradationRecord &D : Op.Degradations) {
+    if (!FirstDeg)
+      Out += ',';
+    FirstDeg = false;
+    Out += "{\"config\":\"" + json::escape(D.Config) + '"';
+    Out += ",\"site\":\"" + json::escape(D.Site) + '"';
+    Out += ",\"code\":\"" + json::escape(D.Code) + '"';
+    Out += ",\"detail\":\"" + json::escape(D.Detail) + "\"}";
+  }
+  Out += "],\"metrics\":" + Op.Metrics.json();
+  Out += '}';
+  return Out;
+}
+
 std::string ReportSink::json() const {
   std::string Out = "{\"operators\":[";
   bool FirstOp = true;
@@ -30,46 +76,7 @@ std::string ReportSink::json() const {
     if (!FirstOp)
       Out += ',';
     FirstOp = false;
-    Out += "{\"name\":\"" + json::escape(Op.Name) + '"';
-    Out += ",\"influenced\":";
-    Out += Op.Influenced ? "true" : "false";
-    Out += ",\"vec_eligible\":";
-    Out += Op.VecEligible ? "true" : "false";
-    Out += ",\"validated\":";
-    Out += Op.Validated ? "true" : "false";
-    Out += ",\"cache_hit\":";
-    Out += Op.CacheHit ? "true" : "false";
-    Out += ",\"tuned\":";
-    Out += Op.Tuned ? "true" : "false";
-    if (Op.Tuned) {
-      Out += ",\"tuning\":{\"encoding\":\"" + json::escape(Op.TuneEncoding) +
-             '"';
-      Out += ",\"predicted_us\":" + json::number(Op.TunePredictedUs);
-      Out += ",\"from_db\":";
-      Out += Op.TuneFromDb ? "true" : "false";
-      Out += ",\"strategy\":\"" + json::escape(Op.TuneStrategy) + "\"}";
-    }
-    Out += ",\"configs\":[";
-    bool FirstCfg = true;
-    for (const ConfigRecord &C : Op.Configs) {
-      if (!FirstCfg)
-        Out += ',';
-      FirstCfg = false;
-      appendConfig(Out, C);
-    }
-    Out += "],\"degradations\":[";
-    bool FirstDeg = true;
-    for (const DegradationRecord &D : Op.Degradations) {
-      if (!FirstDeg)
-        Out += ',';
-      FirstDeg = false;
-      Out += "{\"config\":\"" + json::escape(D.Config) + '"';
-      Out += ",\"site\":\"" + json::escape(D.Site) + '"';
-      Out += ",\"code\":\"" + json::escape(D.Code) + '"';
-      Out += ",\"detail\":\"" + json::escape(D.Detail) + "\"}";
-    }
-    Out += "],\"metrics\":" + Op.Metrics.json();
-    Out += '}';
+    Out += renderOperatorRecord(Op);
   }
   Out += "]}";
   return Out;

@@ -46,6 +46,10 @@ struct DegradationRecord {
 /// One operator's sidecar entry.
 struct OperatorRecord {
   std::string Name;
+  /// Stable request id of the compilation (obs/Journal.h); the same id
+  /// appears on every journal event and Chrome trace span of this
+  /// operator, making sidecar, journal, and trace joinable offline.
+  std::string RequestId;
   bool Influenced = false;
   bool VecEligible = false;
   bool Validated = false;
@@ -63,6 +67,13 @@ struct OperatorRecord {
   std::vector<DegradationRecord> Degradations;
   MetricsSnapshot Metrics; ///< Whole-operator delta.
 };
+
+/// Serializes one operator record as a JSON object — the ONLY emitter
+/// of the per-operator sidecar fields (name/request_id/cache_hit/tuned/
+/// tuning/configs/degradations/metrics). ReportSink::json() and any
+/// single-operator output path go through here, so the schema cannot
+/// drift between writers.
+std::string renderOperatorRecord(const OperatorRecord &Op);
 
 /// Accumulates operator records and serializes them as one JSON
 /// document: {"operators":[...]}.

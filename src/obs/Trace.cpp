@@ -4,6 +4,7 @@
 
 #include "obs/Json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -123,6 +124,20 @@ std::string Tracer::json() const {
   std::lock_guard<std::mutex> L(Mu);
   std::string Out = "{\"traceEvents\":[";
   bool First = true;
+  // Metadata events name the process and each thread track, so viewers
+  // show "worker-N" instead of bare tids.
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"polyinject\"}}";
+  First = false;
+  std::vector<unsigned> Tids;
+  for (const TraceEvent &E : Events)
+    if (std::find(Tids.begin(), Tids.end(), E.Tid) == Tids.end())
+      Tids.push_back(E.Tid);
+  std::sort(Tids.begin(), Tids.end());
+  for (unsigned Tid : Tids)
+    Out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(Tid) + ",\"args\":{\"name\":\"worker-" +
+           std::to_string(Tid) + "\"}}";
   for (const TraceEvent &E : Events) {
     if (!E.Closed)
       continue; // Still open; no duration yet.
@@ -152,6 +167,23 @@ std::string Tracer::json() const {
   }
   Out += "]}";
   return Out;
+}
+
+void Tracer::setAutoFlushPath(std::string Path) {
+  std::lock_guard<std::mutex> L(Mu);
+  AutoFlushPath = std::move(Path);
+}
+
+void Tracer::autoFlush() const {
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Path = AutoFlushPath;
+  }
+  if (Path.empty())
+    return;
+  std::string Error;
+  (void)writeJson(Path, Error);
 }
 
 bool Tracer::writeJson(const std::string &Path, std::string &Error) const {

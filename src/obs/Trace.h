@@ -95,6 +95,15 @@ public:
   /// failure.
   bool writeJson(const std::string &Path, std::string &Error) const;
 
+  /// Registers \p Path as the abnormal-path flush target: autoFlush()
+  /// rewrites it with the current buffer. The pipeline calls autoFlush
+  /// on every degradation, so a run that dies mid-compilation still
+  /// leaves a loadable trace (closed spans only). Pass "" to clear.
+  void setAutoFlushPath(std::string Path);
+  /// Rewrites the auto-flush file, if one is configured; no-op (and
+  /// cheap) otherwise.
+  void autoFlush() const;
+
   /// The single branch the disabled fast path takes.
   static bool fastEnabled() {
     return EnabledFlag.load(std::memory_order_relaxed);
@@ -119,6 +128,7 @@ private:
   unsigned OpenCount = 0; ///< Spans open across all threads.
   std::chrono::steady_clock::time_point Epoch;
   std::vector<TraceEvent> Events;
+  std::string AutoFlushPath; ///< Degradation-path flush target ("" off).
 };
 
 inline Tracer &tracer() { return Tracer::get(); }

@@ -5,9 +5,11 @@
 #include "codegen/Vectorizer.h"
 #include "exec/Interpreter.h"
 #include "lp/Budget.h"
+#include "obs/Journal.h"
 #include "obs/Trace.h"
 #include "support/Status.h"
 
+#include <chrono>
 #include <cstdio>
 
 using namespace pinj;
@@ -45,6 +47,39 @@ bool sameTransforms(const Schedule &A, const Schedule &B) {
   return true;
 }
 
+/// Nesting depth of runOperator on this thread. Exactly one
+/// request_start/request_end pair is journaled per operator compilation:
+/// the outermost call owns them, so the tuner-dispatch recursion and any
+/// evaluation runs the tuner performs internally never double-emit.
+thread_local unsigned RequestDepth = 0;
+
+struct RequestDepthGuard {
+  RequestDepthGuard() { ++RequestDepth; }
+  ~RequestDepthGuard() { --RequestDepth; }
+};
+
+double stageClockUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Journals one stage_end record (isl/novec/infl/tvm/validate) with the
+/// stage's wall time and the solver-effort counters attributed to it.
+void journalStageEnd(const char *Stage, double DurUs,
+                     const obs::MetricsSnapshot &Delta,
+                     const Status &Outcome) {
+  if (!obs::Journal::fastEnabled())
+    return;
+  obs::JournalEvent("stage_end")
+      .field("stage", Stage)
+      .field("dur_us", DurUs)
+      .field("ilp_nodes", Delta.counter("lp.ilp_nodes"))
+      .field("ilp_solves", Delta.counter("lp.ilp_solves"))
+      .field("pivots", Delta.counter("lp.simplex_pivots"))
+      .field("outcome", Outcome.ok() ? "ok" : statusCodeName(Outcome.code()));
+}
+
 } // namespace
 
 SchedulerResult pinj::scheduleInfluenced(const Kernel &K,
@@ -63,6 +98,35 @@ std::string pinj::renderCuda(const Kernel &K, const Schedule &S,
 
 OperatorReport pinj::runOperator(const Kernel &K,
                                  const PipelineOptions &Options) {
+  // Request identity: the outermost runOperator call on this thread owns
+  // the request — it allocates the id (unless the batch compiler
+  // pre-assigned one via RequestScope) and journals the single
+  // request_start/request_end pair. Tuner-dispatch recursion and the
+  // tuner's internal evaluation runs inherit the id and stay silent.
+  const bool Outermost = RequestDepth == 0;
+  std::string Rid = obs::currentRequestId();
+  if (Rid.empty())
+    Rid = obs::nextRequestId();
+  obs::RequestScope Request(Rid);
+  RequestDepthGuard DepthGuard;
+  const double RequestT0 = stageClockUs();
+  if (Outermost && obs::Journal::fastEnabled())
+    obs::JournalEvent("request_start")
+        .field("operator", K.Name)
+        .field("tuner", Options.Tuner != nullptr);
+  auto journalRequestEnd = [&](const OperatorReport &R) {
+    if (!Outermost || !obs::Journal::fastEnabled())
+      return;
+    obs::JournalEvent("request_end")
+        .field("operator", K.Name)
+        .field("dur_us", stageClockUs() - RequestT0)
+        .field("degradations", R.Degradations.size())
+        .field("influenced", R.Influenced)
+        .field("vec_eligible", R.VecEligible)
+        .field("cache_hit", R.CacheHit)
+        .field("tuned", R.Tuned);
+  };
+
   // Autotuning dispatch: the hook picks the options this operator runs
   // under (possibly unchanged), and the compilation below proceeds as a
   // plain run of those options — the cache keys on them, so tuned and
@@ -79,14 +143,23 @@ OperatorReport pinj::runOperator(const Kernel &K,
       Report.Tuned = true;
       Report.Tuning = std::move(Chosen);
     }
+    if (obs::Journal::fastEnabled())
+      obs::JournalEvent("tuning")
+          .field("applied", Applied)
+          .field("encoding", Report.Tuned ? Report.Tuning.Encoding
+                                          : std::string())
+          .field("from_db", Report.Tuned && Report.Tuning.FromDb)
+          .field("strategy", Report.Tuned ? Report.Tuning.Strategy
+                                          : std::string());
     if (Options.Sink)
       Options.Sink->add(toSinkRecord(Report));
+    journalRequestEnd(Report);
     return Report;
   }
 
   obs::Span Op("pipeline.operator");
   if (Op.active())
-    Op.arg("name", K.Name);
+    Op.arg("name", K.Name).arg("request_id", Rid);
   obs::MetricsRegistry &M = obs::metrics();
   static obs::Counter &Operators = M.counter("pipeline.operators");
   static obs::Counter &Degradations = M.counter("pipeline.degradations");
@@ -95,6 +168,7 @@ OperatorReport pinj::runOperator(const Kernel &K,
 
   OperatorReport Report;
   Report.Name = K.Name;
+  Report.RequestId = Rid;
 
   // Whole-operator budget: WallMs is the operator deadline; pivot/node
   // caps apply across every solve of every configuration. Per-run
@@ -108,7 +182,18 @@ OperatorReport pinj::runOperator(const Kernel &K,
     E.Site = St.site();
     E.Code = St.code();
     E.Detail = St.message().empty() ? St.str() : St.message();
+    if (obs::Journal::fastEnabled())
+      obs::JournalEvent("degradation")
+          .field("config", Config)
+          .field("site", E.Site)
+          .field("code", statusCodeName(E.Code))
+          .field("detail", E.Detail);
     Report.Degradations.push_back(std::move(E));
+    // A degradation marks an abnormal path: flush the trace and journal
+    // sinks now, so a run that dies further on still leaves loadable
+    // artifacts (both flushes are cheap no-ops when unconfigured).
+    obs::Tracer::get().autoFlush();
+    obs::Journal::get().flushFile();
   };
   // Strips explicit vector marks by hand; the degradation-path
   // equivalent of finalizeVectorMarks(..., DisableVectorization=true)
@@ -169,12 +254,15 @@ OperatorReport pinj::runOperator(const Kernel &K,
   Report.CacheHit = CacheHit;
   if (Op.active())
     Op.arg("cache_hit", CacheHit);
+  if (Options.Cache && obs::Journal::fastEnabled())
+    obs::JournalEvent("cache_lookup").field("hit", CacheHit);
 
   // Reference configuration: plain scheduling, SCCs serialized up front
   // (the isl behaviour observed in the paper's Fig. 2(b)). On any
   // recoverable failure the scheduler already degraded to the original
   // program order; the report only needs to record why.
   SchedulerResult IslRun;
+  double StageT0 = stageClockUs();
   {
     obs::Span Cfg("pipeline.config.isl");
     if (CacheHit) {
@@ -209,11 +297,14 @@ OperatorReport pinj::runOperator(const Kernel &K,
   }
   obs::MetricsSnapshot AfterIsl = M.snapshot();
   Report.Isl.Metrics = AfterIsl.since(Begin);
+  journalStageEnd("isl", stageClockUs() - StageT0, Report.Isl.Metrics,
+                  Report.Isl.Outcome);
 
   // Influenced scheduling (shared by novec and infl). A failed
   // influenced run degrades to the isl reference schedule.
   SchedulerResult InflRun;
   Schedule NovecSched;
+  StageT0 = stageClockUs();
   {
     obs::Span Cfg("pipeline.config.novec");
     if (CacheHit) {
@@ -267,9 +358,12 @@ OperatorReport pinj::runOperator(const Kernel &K,
   }
   obs::MetricsSnapshot AfterNovec = M.snapshot();
   Report.Novec.Metrics = AfterNovec.since(AfterIsl);
+  journalStageEnd("novec", stageClockUs() - StageT0, Report.Novec.Metrics,
+                  Report.Novec.Outcome);
 
   // Vectorized configuration; a failed vectorizer degrades to novec.
   Schedule InflSched = CacheHit ? Cached.Infl : InflRun.Sched;
+  StageT0 = stageClockUs();
   {
     obs::Span Cfg("pipeline.config.infl");
     if (CacheHit) {
@@ -296,8 +390,11 @@ OperatorReport pinj::runOperator(const Kernel &K,
     }
   }
   Report.Infl.Metrics = M.snapshot().since(AfterNovec);
+  journalStageEnd("infl", stageClockUs() - StageT0, Report.Infl.Metrics,
+                  Report.Infl.Outcome);
 
   // Manual-schedule proxy.
+  StageT0 = stageClockUs();
   {
     obs::Span Cfg("pipeline.config.tvm");
     if (!deadlineExpired("tvm")) {
@@ -309,9 +406,12 @@ OperatorReport pinj::runOperator(const Kernel &K,
       }
     }
   }
+  journalStageEnd("tvm", stageClockUs() - StageT0, obs::MetricsSnapshot(),
+                  Status());
 
   if (Options.Validate && !deadlineExpired("validate")) {
     obs::Span Val("pipeline.validate");
+    StageT0 = stageClockUs();
     try {
       Report.Validated = scheduleIsSemanticallyEqual(K, IslRun.Sched) &&
                          scheduleIsSemanticallyEqual(K, InflSched);
@@ -319,6 +419,8 @@ OperatorReport pinj::runOperator(const Kernel &K,
       Report.Validated = false;
       recordDegradation("validate", E.status());
     }
+    journalStageEnd("validate", stageClockUs() - StageT0,
+                    obs::MetricsSnapshot(), Status());
   }
 
   // Offer the result for caching: only full-fidelity compilations are
@@ -331,11 +433,14 @@ OperatorReport pinj::runOperator(const Kernel &K,
     Entry.Influenced = Report.Influenced;
     Entry.VecEligible = Report.VecEligible;
     Options.Cache->store(K, Options, Entry);
+    if (obs::Journal::fastEnabled())
+      obs::JournalEvent("cache_store").field("operator", K.Name);
   }
 
   Report.Metrics = M.snapshot().since(Begin);
   if (Options.Sink)
     Options.Sink->add(toSinkRecord(Report));
+  journalRequestEnd(Report);
   return Report;
 }
 
@@ -357,6 +462,7 @@ obs::ConfigRecord toConfigRecord(const char *Name, const ConfigResult &R) {
 obs::OperatorRecord pinj::toSinkRecord(const OperatorReport &R) {
   obs::OperatorRecord Record;
   Record.Name = R.Name;
+  Record.RequestId = R.RequestId;
   Record.Influenced = R.Influenced;
   Record.VecEligible = R.VecEligible;
   Record.Validated = R.Validated;

@@ -158,6 +158,11 @@ struct DegradationEvent {
 /// The paper's per-operator measurements.
 struct OperatorReport {
   std::string Name;
+  /// Stable request id of this compilation (obs/Journal.h): allocated at
+  /// runOperator entry (or pre-assigned by the batch compiler) and
+  /// stamped on every journal event, trace span, and the report sidecar,
+  /// so the three artifacts are joinable offline.
+  std::string RequestId;
   ConfigResult Isl;
   ConfigResult Novec;
   ConfigResult Infl;

@@ -86,7 +86,7 @@ namespace {
 /// Runs \p Add and memoizes the variables/rows it appended; replays
 /// them (with multiplier ids rebased) on later hits for the same key.
 template <typename AddFn>
-void cachedFarkasBlock(
+bool cachedFarkasBlock(
     std::map<std::pair<unsigned, int>, IlpBuilder::ConstraintBlock> &Blocks,
     std::pair<unsigned, int> Key, IlpBuilder &Builder, AddFn Add) {
   auto It = Blocks.find(Key);
@@ -95,12 +95,13 @@ void cachedFarkasBlock(
         obs::metrics().counter("sched.farkas_cache_hits");
     Hits.inc();
     Builder.replayBlock(It->second);
-    return;
+    return true;
   }
   unsigned VarMark = Builder.numVars();
   unsigned RowMark = Builder.numConstraints();
   Add();
   Blocks.emplace(Key, Builder.captureBlock(VarMark, RowMark));
+  return false;
 }
 
 } // namespace
@@ -108,15 +109,17 @@ void cachedFarkasBlock(
 void pinj::FarkasCache::addValidity(DimIlp &Ilp, const Kernel &K,
                                     unsigned Dep,
                                     const DependenceRelation &D) {
-  cachedFarkasBlock(Blocks, {Dep, 0}, Ilp.Builder,
-                    [&] { pinj::addValidity(Ilp, K, D); });
+  if (cachedFarkasBlock(Blocks, {Dep, 0}, Ilp.Builder,
+                        [&] { pinj::addValidity(Ilp, K, D); }))
+    ++HitCount;
 }
 
 void pinj::FarkasCache::addProximity(DimIlp &Ilp, const Kernel &K,
                                      unsigned Dep,
                                      const DependenceRelation &D) {
-  cachedFarkasBlock(Blocks, {Dep, 1}, Ilp.Builder,
-                    [&] { pinj::addProximity(Ilp, K, D); });
+  if (cachedFarkasBlock(Blocks, {Dep, 1}, Ilp.Builder,
+                        [&] { pinj::addProximity(Ilp, K, D); }))
+    ++HitCount;
 }
 
 void pinj::addProgression(DimIlp &Ilp, const Kernel &K,

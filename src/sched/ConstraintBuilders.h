@@ -118,8 +118,14 @@ public:
   void addProximity(DimIlp &Ilp, const Kernel &K, unsigned Dep,
                     const DependenceRelation &D);
 
+  /// Replays served by THIS cache instance — per-construction, unlike
+  /// the global sched.farkas_cache_hits counter that batch workers
+  /// share; the scheduler's sched_end journal record reports it.
+  unsigned hits() const { return HitCount; }
+
 private:
   std::map<std::pair<unsigned, int>, IlpBuilder::ConstraintBlock> Blocks;
+  unsigned HitCount = 0;
 };
 
 /// Adds progression constraints for statement \p Stmt: Eq. (3) and the

@@ -3,6 +3,7 @@
 #include "sched/Scheduler.h"
 
 #include "math/LinearAlgebra.h"
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/FailPoint.h"
@@ -17,8 +18,12 @@ using namespace pinj;
 namespace {
 
 /// Folds one run's counters into the process-wide metrics registry (the
-/// generalization of the ad-hoc SchedulerStats struct).
-void recordSchedulerStats(const SchedulerStats &S) {
+/// generalization of the ad-hoc SchedulerStats struct) and journals the
+/// run's sched_end record. \p FarkasHits is the per-construction replay
+/// count (the global counter mixes concurrent workers); \p Dims the
+/// number of dimensions installed when the run ended.
+void recordSchedulerStats(const SchedulerStats &S, unsigned FarkasHits,
+                          std::size_t Dims) {
   obs::MetricsRegistry &M = obs::metrics();
   M.counter("sched.runs").inc();
   M.counter("sched.ilp_solves").add(S.IlpSolves);
@@ -33,6 +38,17 @@ void recordSchedulerStats(const SchedulerStats &S) {
   M.counter("sched.feautrier_dims").add(S.FeautrierDims);
   if (S.TreeAbandoned)
     M.counter("sched.trees_abandoned").inc();
+  if (obs::Journal::fastEnabled())
+    obs::JournalEvent("sched_end")
+        .field("dims", Dims)
+        .field("ilp_solves", S.IlpSolves)
+        .field("ilp_failures", S.IlpFailures)
+        .field("ilp_nodes", S.IlpNodes)
+        .field("farkas_cache_hits", FarkasHits)
+        .field("fallbacks", S.ProgressionDrops + S.SiblingMoves +
+                                S.BandBreaks + S.AncestorBacktracks +
+                                S.SccCuts + S.FeautrierDims)
+        .field("tree_abandoned", S.TreeAbandoned);
 }
 
 /// Tarjan's strongly connected components over the statement graph whose
@@ -149,7 +165,7 @@ public:
         if (Node || Tree) {
           fallbackSpan("tree_abandon");
           Stats.TreeAbandoned = true;
-          recordSchedulerStats(Stats);
+          recordSchedulerStats(Stats, Farkas.hits(), Partial.Dims.size());
           return false;
         }
         raiseError(StatusCode::DimensionLimit, "sched.construction",
@@ -179,6 +195,7 @@ public:
       // Fallback 2: next sibling scenario at the same depth.
       if (Node && Node->rightSibling()) {
         fallbackSpan("sibling_move");
+        obs::metrics().counter("influence.scenario_backtracks").inc();
         Node = Node->rightSibling();
         Active = Backups[D].Active;
         ProgressionDisabled = false;
@@ -206,6 +223,7 @@ public:
       // Fallback 4: backtrack to the closest ancestor sibling.
       if (Node && backtrackToAncestorSibling()) {
         fallbackSpan("ancestor_backtrack");
+        obs::metrics().counter("influence.scenario_backtracks").inc();
         ProgressionDisabled = false;
         ++Stats.AncestorBacktracks;
         continue;
@@ -226,7 +244,7 @@ public:
       if (Node || Tree) {
         fallbackSpan("tree_abandon");
         Stats.TreeAbandoned = true;
-        recordSchedulerStats(Stats);
+        recordSchedulerStats(Stats, Farkas.hits(), Partial.Dims.size());
         return false;
       }
       raiseError(StatusCode::Stuck, "sched.construction",
@@ -235,18 +253,27 @@ public:
     Result.Sched = Partial;
     Result.Stats = Stats;
     Result.ReachedLeaf = ReachedLeaf;
-    recordSchedulerStats(Stats);
+    recordSchedulerStats(Stats, Farkas.hits(), Partial.Dims.size());
     return true;
   }
 
 private:
   /// Emits one zero-length marker span per fallback activation so
-  /// traces show where (and at what depth) the construction backed off.
+  /// traces show where (and at what depth) the construction backed off,
+  /// plus the matching journal record (same payload, joinable by
+  /// request id). Scenario-switching fallbacks also bump the
+  /// influence.scenario_backtracks counter: they abandon one influence
+  /// scenario for another, which is the tree's backtrack notion.
   void fallbackSpan(const char *Kind) const {
-    if (!obs::Tracer::fastEnabled())
-      return;
-    obs::Span F("sched.fallback");
-    F.arg("kind", Kind).arg("depth", Partial.Dims.size());
+    if (obs::Tracer::fastEnabled()) {
+      obs::Span F("sched.fallback");
+      F.arg("kind", Kind).arg("depth", Partial.Dims.size());
+    }
+    if (obs::Journal::fastEnabled())
+      obs::JournalEvent("sched_fallback")
+          .field("kind", Kind)
+          .field("depth", Partial.Dims.size())
+          .field("node", Node ? Node->Label.c_str() : "-");
   }
   bool allFullRank() const {
     for (unsigned S = 0, E = K.Stmts.size(); S != E; ++S) {
@@ -319,6 +346,12 @@ private:
       for (IntMatrix &T : Partial.Transforms)
         T.truncateRows(D);
       ++Stats.MetaRejections;
+      if (obs::Journal::fastEnabled())
+        obs::JournalEvent("dim_outcome")
+            .field("depth", D)
+            .field("accepted", false)
+            .field("reason", "meta_rejection")
+            .field("node", Node->Label);
       return false;
     }
     if (Node) {
@@ -326,6 +359,14 @@ private:
       Info.VectorStmts = Node->VectorStmts;
       Info.VectorWidth = Node->VectorWidth;
     }
+    if (obs::Journal::fastEnabled())
+      obs::JournalEvent("dim_outcome")
+          .field("depth", D)
+          .field("accepted", true)
+          .field("influenced", Info.Influenced)
+          .field("parallel", Info.IsParallel)
+          .field("band_start", Info.BandStart)
+          .field("node", Node ? Node->Label.c_str() : "-");
     Partial.Dims.push_back(std::move(Info));
     NextStartsBand = false;
     updateCarried(D);

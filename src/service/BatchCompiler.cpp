@@ -2,6 +2,7 @@
 
 #include "service/BatchCompiler.h"
 
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 
 #include <algorithm>
@@ -62,18 +63,35 @@ BatchResult BatchCompiler::run(const std::vector<BatchJob> &Jobs) {
   PipelineOptions WorkerOptions = Options;
   WorkerOptions.Sink = nullptr;
 
+  // Request ids are pre-assigned at submission, before the pool starts,
+  // so the id<->job mapping does not depend on worker interleaving and
+  // every journal event a worker emits (through the RequestScope it
+  // installs) carries its job's id. A job that throws still reports its
+  // pre-assigned id via failedReport.
+  std::vector<std::string> RequestIds(Jobs.size());
+  for (std::size_t I = 0; I != Jobs.size(); ++I)
+    RequestIds[I] = obs::nextRequestId();
+  if (obs::Journal::fastEnabled())
+    obs::JournalEvent("batch_start")
+        .field("jobs", Jobs.size())
+        .field("workers",
+               std::min<std::size_t>(NumWorkers, Jobs.size()));
+
   std::atomic<std::size_t> Next{0};
   auto Work = [&]() {
     for (;;) {
       std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Jobs.size())
         return;
+      obs::RequestScope Request(RequestIds[I]);
       try {
         Result.Reports[I] = runOperator(Jobs[I].K, WorkerOptions);
       } catch (const std::exception &Ex) {
         Result.Reports[I] = failedReport(Jobs[I].K.Name, Ex.what());
+        Result.Reports[I].RequestId = RequestIds[I];
       } catch (...) {
         Result.Reports[I] = failedReport(Jobs[I].K.Name, "unknown");
+        Result.Reports[I].RequestId = RequestIds[I];
       }
     }
   };
@@ -90,6 +108,12 @@ BatchResult BatchCompiler::run(const std::vector<BatchJob> &Jobs) {
     for (std::thread &T : Pool)
       T.join();
   }
+
+  if (obs::Journal::fastEnabled())
+    obs::JournalEvent("batch_end")
+        .field("jobs", Jobs.size())
+        .field("cache_hits", Result.hits())
+        .field("degraded", Result.degraded());
 
   if (Options.Sink)
     for (const OperatorReport &R : Result.Reports)

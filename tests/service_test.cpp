@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Journal.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -23,6 +24,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 
@@ -480,6 +483,61 @@ TEST(BatchCompilerTest, ConcurrentWorkersShareCacheSafely) {
               serializeSchedule(R.Reports[I % Base.size()].Infl.Sched));
 }
 
+TEST(BatchCompilerTest, JournalAssignsUniqueRequestIdsUnderConcurrency) {
+  // Eight workers journaling concurrently; under TSan this is the
+  // data-race probe for the journal ring and file-less emit path.
+  std::vector<Kernel> Base = allTestKernels();
+  std::vector<BatchJob> Jobs;
+  for (unsigned Rep = 0; Rep != 2; ++Rep)
+    for (const Kernel &K : Base)
+      Jobs.push_back(BatchJob{K});
+
+  obs::journal().disable();
+  obs::journal().reset();
+  obs::journal().enable();
+  PipelineOptions Options;
+  BatchResult R = BatchCompiler(Options, 8).run(Jobs);
+  std::vector<obs::JournalRecord> Snap = obs::journal().snapshot();
+  obs::journal().disable();
+  obs::journal().reset();
+
+  // Every report carries a distinct request id, pre-assigned in
+  // submission order before the pool starts.
+  ASSERT_EQ(Jobs.size(), R.Reports.size());
+  std::set<std::string> Ids;
+  for (const OperatorReport &Report : R.Reports) {
+    EXPECT_FALSE(Report.RequestId.empty()) << Report.Name;
+    Ids.insert(Report.RequestId);
+  }
+  EXPECT_EQ(Ids.size(), R.Reports.size());
+
+  // The journal pairs request_start/request_end exactly once per id,
+  // and brackets the batch with id-less batch_start/batch_end.
+  std::map<std::string, int> Starts, Ends;
+  unsigned BatchStart = 0, BatchEnd = 0;
+  for (const obs::JournalRecord &Rec : Snap) {
+    if (Rec.Type == "request_start")
+      ++Starts[Rec.RequestId];
+    else if (Rec.Type == "request_end")
+      ++Ends[Rec.RequestId];
+    else if (Rec.Type == "batch_start") {
+      ++BatchStart;
+      EXPECT_TRUE(Rec.RequestId.empty());
+    } else if (Rec.Type == "batch_end") {
+      ++BatchEnd;
+      EXPECT_TRUE(Rec.RequestId.empty());
+    } else
+      EXPECT_TRUE(Ids.count(Rec.RequestId))
+          << Rec.Type << " carries unknown id " << Rec.RequestId;
+  }
+  EXPECT_EQ(BatchStart, 1u);
+  EXPECT_EQ(BatchEnd, 1u);
+  for (const std::string &Id : Ids) {
+    EXPECT_EQ(Starts[Id], 1) << Id;
+    EXPECT_EQ(Ends[Id], 1) << Id;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Observability thread safety
 //===----------------------------------------------------------------------===//
@@ -538,7 +596,13 @@ TEST(ObsThreadSafetyTest, ConcurrentSpansKeepJsonWellFormed) {
   ASSERT_TRUE(Parsed.has_value()) << Error;
   const obs::json::Value *Events = Parsed->find("traceEvents");
   ASSERT_NE(nullptr, Events);
-  EXPECT_EQ(2u * Threads * PerThread, Events->Items.size());
+  // Every span serialized, plus process/thread metadata ("M") events —
+  // one thread_name per tid seen, so exactly Threads of those.
+  unsigned Spans = 0, Metadata = 0;
+  for (const obs::json::Value &E : Events->Items)
+    ++(E.at("ph").Str == "M" ? Metadata : Spans);
+  EXPECT_EQ(2u * Threads * PerThread, Spans);
+  EXPECT_GE(Metadata, Threads);
 
   obs::tracer().disable();
   obs::tracer().reset();

@@ -1,0 +1,101 @@
+# Runs polyinject-opt twice over the operator corpus with the full
+# observability surface enabled (journal, Chrome trace, metrics sidecar,
+# exposition file), then validates the artifacts with polyinject-stats:
+#
+#   1. --check-schema over run A's journal cross-checked against the
+#      sidecar, the trace and the exposition file — the request id that
+#      runOperator allocates must appear consistently in all three.
+#   2. --diff of run A against run B must exit 0: two identical runs
+#      never report a stage-time regression.
+#
+# Expected -D variables: TOOL (polyinject-opt path), STATS
+# (polyinject-stats path), OPS (corpus.txt), WORK (scratch directory).
+
+foreach(_var TOOL STATS OPS WORK)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "StatsRoundtrip.cmake needs -D${_var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK})
+
+foreach(_run a b)
+  execute_process(COMMAND ${TOOL} --jobs=4 --ops-file=${OPS}
+                          --journal=${WORK}/journal_${_run}.jsonl
+                          --trace-json=${WORK}/trace_${_run}.json
+                          --metrics-json=${WORK}/report_${_run}.json
+                          --metrics-exposition=${WORK}/metrics_${_run}.prom
+                  OUTPUT_VARIABLE _out
+                  ERROR_VARIABLE _err
+                  RESULT_VARIABLE _rc)
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "corpus run ${_run} failed (${_rc}):\n${_err}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${STATS} --check-schema
+                        --report=${WORK}/report_a.json
+                        --trace=${WORK}/trace_a.json
+                        --exposition=${WORK}/metrics_a.prom
+                        ${WORK}/journal_a.jsonl
+                OUTPUT_VARIABLE _schema_out
+                ERROR_VARIABLE _schema_err
+                RESULT_VARIABLE _schema_rc)
+if(NOT _schema_rc EQUAL 0)
+  message(FATAL_ERROR "schema check failed (${_schema_rc}):\n"
+                      "${_schema_out}\n${_schema_err}")
+endif()
+
+# The summary must actually cover the corpus: stage latency lines and a
+# request count are the load-bearing parts of the report.
+if(NOT _schema_out MATCHES "stage latency")
+  message(FATAL_ERROR "stats summary missing stage latency:\n"
+                      "${_schema_out}")
+endif()
+
+# Two runs of the same corpus are identical in every deterministic
+# quantity; stage wall times carry scheduler/machine noise, so the
+# identical-run check uses thresholds only a hang-level regression could
+# cross. The default thresholds are exercised below on synthetic
+# journals where the times are controlled.
+execute_process(COMMAND ${STATS} --diff ${WORK}/journal_a.jsonl
+                        ${WORK}/journal_b.jsonl
+                        --threshold-pct=1000 --min-regress-us=10000000
+                OUTPUT_VARIABLE _diff_out
+                ERROR_VARIABLE _diff_err
+                RESULT_VARIABLE _diff_rc)
+if(NOT _diff_rc EQUAL 0)
+  message(FATAL_ERROR "identical-run diff reported a regression "
+                      "(${_diff_rc}):\n${_diff_out}\n${_diff_err}")
+endif()
+
+# Synthetic pair with a controlled 50x isl regression: the default
+# thresholds must catch it and exit non-zero.
+file(WRITE ${WORK}/base.jsonl
+"{\"ts_us\":1,\"request_id\":\"r0-0\",\"type\":\"request_start\",\"operator\":\"op\"}
+{\"ts_us\":2,\"request_id\":\"r0-0\",\"type\":\"stage_end\",\"stage\":\"isl\",\"dur_us\":2000}
+{\"ts_us\":3,\"request_id\":\"r0-0\",\"type\":\"request_end\",\"operator\":\"op\",\"dur_us\":3}
+")
+file(WRITE ${WORK}/regressed.jsonl
+"{\"ts_us\":1,\"request_id\":\"r1-0\",\"type\":\"request_start\",\"operator\":\"op\"}
+{\"ts_us\":2,\"request_id\":\"r1-0\",\"type\":\"stage_end\",\"stage\":\"isl\",\"dur_us\":100000}
+{\"ts_us\":3,\"request_id\":\"r1-0\",\"type\":\"request_end\",\"operator\":\"op\",\"dur_us\":3}
+")
+execute_process(COMMAND ${STATS} --diff ${WORK}/base.jsonl
+                        ${WORK}/regressed.jsonl
+                OUTPUT_VARIABLE _reg_out
+                ERROR_VARIABLE _reg_err
+                RESULT_VARIABLE _reg_rc)
+if(_reg_rc EQUAL 0)
+  message(FATAL_ERROR "synthetic 50x regression not detected:\n"
+                      "${_reg_out}")
+endif()
+
+# The exposition file must carry fleet-prefixed samples.
+file(READ ${WORK}/metrics_a.prom _prom)
+if(NOT _prom MATCHES "pinj_")
+  message(FATAL_ERROR "exposition file carries no pinj_ samples")
+endif()
+
+message(STATUS "stats roundtrip ok: schema clean, identical-run diff "
+               "clean, exposition populated")

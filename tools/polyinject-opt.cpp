@@ -17,6 +17,15 @@
 //                                       (open in chrome://tracing)
 //     --metrics-json=FILE               write the per-operator metrics
 //                                       sidecar
+//     --journal=FILE                    write the structured event
+//                                       journal (JSONL, one record per
+//                                       line; obs/Journal.h)
+//     --metrics-exposition=FILE         write the process metrics in the
+//                                       Prometheus text exposition
+//                                       format at exit
+//     --metrics-interval-ms=N           also rewrite the exposition file
+//                                       every N ms while running
+//                                       (requires --metrics-exposition)
 //     --stats                           print the process metrics table
 //     --gpu=PRESET                      GPU model preset (v100, a100,
 //                                       p100; default v100)
@@ -57,6 +66,8 @@
 #include "influence/TreeBuilder.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "obs/Exposition.h"
+#include "obs/Journal.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/Report.h"
@@ -90,7 +101,9 @@ void printUsage(const char *Argv0) {
       "usage: %s [--config=isl|tvm|novec|infl|all] "
       "[--print=schedule,cuda,ast,tree,deps,sim] [--validate] "
       "[--feautrier] [--max-pivots=N] [--max-nodes=N] [--deadline-ms=X] "
-      "[--trace-json=FILE] [--metrics-json=FILE] [--stats] [--gpu=PRESET] "
+      "[--trace-json=FILE] [--metrics-json=FILE] [--journal=FILE] "
+      "[--metrics-exposition=FILE] [--metrics-interval-ms=N] [--stats] "
+      "[--gpu=PRESET] "
       "[--autotune=exhaustive|greedy|anneal] [--tune-budget=N] "
       "[--tune-seed=N] [--tune-space=default|tiny] [--tuning-db=FILE] "
       "[--jobs=N] [--cache-dir=PATH] [--ops-file=FILE] "
@@ -185,6 +198,66 @@ std::vector<std::string> readOpsFile(const std::string &ListPath) {
   }
   return Paths;
 }
+
+/// Writes the current process metrics in the exposition format to
+/// \p Path. \returns false on I/O failure.
+bool writeExpositionFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << obs::metrics().renderExposition();
+  Out.close();
+  return static_cast<bool>(Out);
+}
+
+/// Writes the Chrome trace to \p Path and validates it (parse back,
+/// require a non-empty traceEvents array) so CTest can rely on the exit
+/// code. \returns false on I/O failure or an invalid file.
+bool writeTraceChecked(const std::string &Path) {
+  std::string Error;
+  if (!obs::tracer().writeJson(Path, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return false;
+  }
+  std::ifstream TraceIn(Path);
+  std::stringstream TraceBuffer;
+  TraceBuffer << TraceIn.rdbuf();
+  std::optional<obs::json::Value> Parsed =
+      obs::json::parse(TraceBuffer.str(), Error);
+  const obs::json::Value *Events =
+      Parsed ? Parsed->find("traceEvents") : nullptr;
+  if (!Parsed || !Events || !Events->isArray() || Events->Items.empty()) {
+    std::fprintf(stderr, "error: invalid trace file %s: %s\n",
+                 Path.c_str(),
+                 Error.empty() ? "missing traceEvents" : Error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %zu trace events to %s\n",
+               Events->Items.size(), Path.c_str());
+  return true;
+}
+
+/// Runs the end-of-process observability flushes on every return path:
+/// the final exposition snapshot (via the periodic writer's stop when
+/// one is running, directly otherwise) and the journal file sink.
+class ObsFinalizer {
+public:
+  ObsFinalizer(obs::ExpositionWriter &Writer, std::string ExpositionPath)
+      : Writer(Writer), ExpositionPath(std::move(ExpositionPath)) {}
+  ~ObsFinalizer() {
+    if (Writer.running())
+      Writer.stop();
+    else if (!ExpositionPath.empty() &&
+             !writeExpositionFile(ExpositionPath))
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   ExpositionPath.c_str());
+    obs::Journal::get().closeFile();
+  }
+
+private:
+  obs::ExpositionWriter &Writer;
+  std::string ExpositionPath;
+};
 
 /// Batch mode: compiles every kernel through the service worker pool
 /// and prints reports in submission order. Stdout is deterministic for
@@ -294,6 +367,9 @@ int main(int Argc, char **Argv) {
   SolverBudget Budget;
   std::string TraceJsonPath;
   std::string MetricsJsonPath;
+  std::string JournalPath;
+  std::string ExpositionPath;
+  unsigned MetricsIntervalMs = 0;
   std::string CacheDir;
   std::string OpsFilePath;
   std::string GpuPreset;
@@ -374,6 +450,28 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: --metrics-json needs a file name\n");
         return 2;
       }
+    } else if (std::strncmp(Arg, "--journal=", 10) == 0) {
+      JournalPath = Arg + 10;
+      if (JournalPath.empty()) {
+        std::fprintf(stderr, "error: --journal needs a file name\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--metrics-exposition=", 21) == 0) {
+      ExpositionPath = Arg + 21;
+      if (ExpositionPath.empty()) {
+        std::fprintf(stderr,
+                     "error: --metrics-exposition needs a file name\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--metrics-interval-ms=", 22) == 0) {
+      MetricsIntervalMs =
+          static_cast<unsigned>(std::strtoul(Arg + 22, nullptr, 10));
+      if (MetricsIntervalMs == 0) {
+        std::fprintf(stderr,
+                     "error: --metrics-interval-ms needs a positive "
+                     "interval\n");
+        return 2;
+      }
     } else if (Arg[0] == '-') {
       printUsage(Argv[0]);
       return 2;
@@ -388,8 +486,32 @@ int main(int Argc, char **Argv) {
     printUsage(Argv[0]);
     return 2;
   }
-  if (!TraceJsonPath.empty())
+  if (!TraceJsonPath.empty()) {
     obs::tracer().enable(obs::Tracer::Json);
+    // Degradation paths rewrite the file mid-run, so a crashed or killed
+    // compilation still leaves a loadable trace.
+    obs::tracer().setAutoFlushPath(TraceJsonPath);
+  }
+  if (MetricsIntervalMs != 0 && ExpositionPath.empty()) {
+    std::fprintf(
+        stderr,
+        "error: --metrics-interval-ms requires --metrics-exposition\n");
+    return 2;
+  }
+  if (!JournalPath.empty()) {
+    obs::Journal::get().enable();
+    std::string JournalError;
+    if (!obs::Journal::get().openFile(JournalPath, JournalError)) {
+      std::fprintf(stderr, "error: %s\n", JournalError.c_str());
+      return 1;
+    }
+  }
+  obs::ExpositionWriter ExpoWriter;
+  if (!ExpositionPath.empty() && MetricsIntervalMs != 0)
+    ExpoWriter.start(ExpositionPath, MetricsIntervalMs);
+  // From here on, every return path writes the final exposition snapshot
+  // and closes the journal sink.
+  ObsFinalizer Finalizer(ExpoWriter, ExpositionPath);
 
   std::unique_ptr<service::ScheduleCache> Cache;
   if (!CacheDir.empty()) {
@@ -457,8 +579,11 @@ int main(int Argc, char **Argv) {
     Options.Gpu = Gpu;
     Options.Cache = Cache.get();
     Options.Tuner = Tuner.get();
-    return runBatch(Paths, Options, Jobs, Cache != nullptr, Artifacts,
-                    ConfigArg, Stats, MetricsJsonPath);
+    int Rc = runBatch(Paths, Options, Jobs, Cache != nullptr, Artifacts,
+                      ConfigArg, Stats, MetricsJsonPath);
+    if (!TraceJsonPath.empty() && !writeTraceChecked(TraceJsonPath))
+      return 1;
+    return Rc;
   }
   std::string Error;
   std::optional<Kernel> K = loadKernel(Paths.front());
@@ -541,28 +666,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-  if (!TraceJsonPath.empty()) {
-    if (!obs::tracer().writeJson(TraceJsonPath, Error)) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 1;
-    }
-    // Self-check: the file we just wrote must parse back as JSON with a
-    // traceEvents array, so CTest can rely on this exit code.
-    std::ifstream TraceIn(TraceJsonPath);
-    std::stringstream TraceBuffer;
-    TraceBuffer << TraceIn.rdbuf();
-    std::optional<obs::json::Value> Parsed =
-        obs::json::parse(TraceBuffer.str(), Error);
-    const obs::json::Value *Events =
-        Parsed ? Parsed->find("traceEvents") : nullptr;
-    if (!Parsed || !Events || !Events->isArray() || Events->Items.empty()) {
-      std::fprintf(stderr, "error: invalid trace file %s: %s\n",
-                   TraceJsonPath.c_str(),
-                   Error.empty() ? "missing traceEvents" : Error.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote %zu trace events to %s\n",
-                 Events->Items.size(), TraceJsonPath.c_str());
-  }
+  if (!TraceJsonPath.empty() && !writeTraceChecked(TraceJsonPath))
+    return 1;
   return Validate && !R.Validated ? 1 : 0;
 }
