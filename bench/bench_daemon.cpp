@@ -1,0 +1,295 @@
+//===- bench/bench_daemon.cpp - Compilation-daemon benchmark --------------===//
+//
+// Measures the hardened daemon (src/service/Daemon.h) the way a client
+// fleet sees it:
+//
+//   1. throughput + latency — a zipfian request stream over the
+//      operator corpus against the async worker pool, with client-side
+//      p50/p99 latency (submit to terminal response) and the cache hit
+//      rate the skew buys;
+//   2. overload — the same daemon driven at 2x its measured capacity
+//      with a small admission queue, where the bounded-queue shed
+//      policy (not latency collapse) must absorb the excess.
+//
+// Gates (exit 1 on violation):
+//   - every submitted request gets exactly one terminal response, in
+//     both phases;
+//   - the zipfian stream hits the cache more than half the time;
+//   - at 2x overload some requests shed (the queue bounds, it does not
+//     buffer without limit).
+//
+// The JSON artifact (--json=FILE) lands the numbers for CI:
+//   {requests, throughput_rps, p50_us, p99_us, hit_rate, shed_rate_2x,
+//    workers}.
+//
+//   bench_daemon [--requests=N] [--workers=N] [--json=FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "obs/Json.h"
+#include "ops/OpFactory.h"
+#include "pipeline/Pipeline.h"
+#include "service/Daemon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pinj;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msBetween(Clock::time_point From, Clock::time_point To) {
+  return std::chrono::duration<double, std::milli>(To - From).count();
+}
+
+/// Deterministic xorshift64 so runs are comparable.
+struct Rng {
+  std::uint64_t S;
+  explicit Rng(std::uint64_t Seed) : S(Seed ? Seed : 1) {}
+  std::uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  double uniform() { return (next() >> 11) * (1.0 / (1ull << 53)); }
+};
+
+/// The request corpus: factory operators at daemon-friendly sizes.
+std::vector<Kernel> buildKernels() {
+  std::vector<Kernel> Kernels;
+  Kernels.push_back(makeFusedMulSubMulTensorAdd(32));
+  Kernels.push_back(makeElementwiseChain("ew_chain_a", 32, 64, 2, 1));
+  Kernels.push_back(makeElementwiseChain("ew_chain_b", 48, 48, 3, 2));
+  Kernels.push_back(makeBiasActivation("bias_a", 32, 64, 1));
+  Kernels.push_back(makeBiasActivation("bias_b", 48, 32, 2));
+  Kernels.push_back(makeHostileOrderCopy("hostile_a", 32, 48, 1));
+  Kernels.push_back(makeHostileOrderCopy("hostile_b", 48, 64, 2));
+  Kernels.push_back(makeReduceTail("reduce_a", 32, 64, 1));
+  Kernels.push_back(makeSoftmaxLike("softmax_a", 24, 48));
+  Kernels.push_back(makeProducerConsumerPair("prodcons_a", 32, 48, 1));
+  return Kernels;
+}
+
+/// Pre-renders \p Kernels to escaped request-line kernel text.
+std::vector<std::string> renderCorpus(const std::vector<Kernel> &Kernels) {
+  std::vector<std::string> Texts;
+  for (const Kernel &K : Kernels) {
+    std::string Error;
+    std::optional<std::string> Text = printPinj(K, Error);
+    if (!Text) {
+      std::fprintf(stderr, "corpus kernel failed to print: %s\n",
+                   Error.c_str());
+      std::exit(1);
+    }
+    Texts.push_back(obs::json::escape(*Text));
+  }
+  return Texts;
+}
+
+/// Mean uncached compile time over the corpus, single-threaded — the
+/// denominator of the daemon's cold capacity estimate.
+double meanColdCompileMs(const std::vector<Kernel> &Kernels) {
+  PipelineOptions Options;
+  Clock::time_point Start = Clock::now();
+  for (const Kernel &K : Kernels)
+    runOperator(K, Options);
+  return msBetween(Start, Clock::now()) / Kernels.size();
+}
+
+/// Zipf(1) sampling: rank r drawn with weight 1/(r+1), so a handful of
+/// hot operators dominate — the distribution a serving fleet sees, and
+/// what makes the cache tier earn its hit rate.
+std::size_t zipf(Rng &R, const std::vector<double> &Cdf) {
+  double U = R.uniform() * Cdf.back();
+  return std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin();
+}
+
+/// Everything one driven phase records, client-side.
+struct PhaseResult {
+  std::size_t Submitted = 0;
+  std::size_t Responses = 0;
+  std::size_t Ok = 0;
+  std::size_t Shed = 0;
+  std::size_t Hits = 0;
+  double WallMs = 0;
+  std::vector<double> LatencyUs; ///< Submit-to-response, ok responses.
+};
+
+/// Drives \p Requests zipfian requests through a fresh daemon built
+/// from \p Cfg; \p PacedRps > 0 spaces submissions to that offered rate
+/// (the overload phase), 0 submits as fast as intake accepts.
+PhaseResult drive(service::DaemonConfig Cfg,
+                  const std::vector<std::string> &Corpus,
+                  std::size_t Requests, double PacedRps,
+                  std::uint64_t Seed) {
+  std::vector<double> Cdf;
+  for (std::size_t I = 0; I != Corpus.size(); ++I)
+    Cdf.push_back((Cdf.empty() ? 0.0 : Cdf.back()) + 1.0 / (I + 1));
+
+  PhaseResult Out;
+  Rng R(Seed);
+  std::mutex Mu;
+  std::condition_variable AllAnswered;
+  std::vector<Clock::time_point> SubmitAt(Requests + 1);
+  service::Daemon D(Cfg);
+  D.start([&](const std::string &Line) {
+    Clock::time_point Now = Clock::now();
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (++Out.Responses == Requests)
+      AllAnswered.notify_all();
+    std::string Error;
+    std::optional<obs::json::Value> V = obs::json::parse(Line, Error);
+    if (!V)
+      return;
+    const obs::json::Value *Status = V->find("status");
+    std::string S = Status && Status->isString() ? Status->Str : "";
+    if (S == "ok") {
+      ++Out.Ok;
+      const obs::json::Value *Cache = V->find("cache");
+      if (Cache && Cache->isString() && Cache->Str == "hit")
+        ++Out.Hits;
+      const obs::json::Value *LineNo = V->find("line");
+      if (LineNo && LineNo->isNumber()) {
+        std::size_t N = static_cast<std::size_t>(LineNo->Num);
+        if (N >= 1 && N <= Requests)
+          Out.LatencyUs.push_back(msBetween(SubmitAt[N], Now) * 1000.0);
+      }
+    } else if (S == "shed") {
+      ++Out.Shed;
+    }
+  });
+
+  Clock::time_point Start = Clock::now();
+  for (std::size_t I = 0; I != Requests; ++I) {
+    if (PacedRps > 0) {
+      Clock::time_point Due =
+          Start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(I / PacedRps));
+      std::this_thread::sleep_until(Due);
+    }
+    std::string Line = "{\"id\":\"b" + std::to_string(I) +
+                       "\",\"kernel\":\"" + Corpus[zipf(R, Cdf)] + "\"}";
+    SubmitAt[I + 1] = Clock::now();
+    D.submitLine(Line);
+    ++Out.Submitted;
+  }
+  // Every admitted request gets a worker-delivered terminal response;
+  // wait for the full count before draining, so the drain never
+  // converts queued work into `draining` sheds and the wall time spans
+  // exactly the serving of the stream.
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    AllAnswered.wait_for(Lock, std::chrono::seconds(300),
+                         [&] { return Out.Responses >= Requests; });
+  }
+  Out.WallMs = msBetween(Start, Clock::now());
+  D.drainAndStop();
+  return Out;
+}
+
+double percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0;
+  std::sort(Values.begin(), Values.end());
+  std::size_t Idx = static_cast<std::size_t>(P * (Values.size() - 1));
+  return Values[Idx];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::size_t Requests = 300;
+  std::size_t Workers = std::min<std::size_t>(
+      4, std::max(2u, std::thread::hardware_concurrency()));
+  std::string JsonPath;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--requests=", 11) == 0)
+      Requests = std::strtoul(Argv[I] + 11, nullptr, 10);
+    else if (std::strncmp(Argv[I], "--workers=", 10) == 0)
+      Workers = std::strtoul(Argv[I] + 10, nullptr, 10);
+    else if (std::strncmp(Argv[I], "--json=", 7) == 0)
+      JsonPath = Argv[I] + 7;
+  }
+
+  std::vector<Kernel> Kernels = buildKernels();
+  std::vector<std::string> Corpus = renderCorpus(Kernels);
+  std::printf("compilation daemon benchmark: %zu requests, %zu workers, "
+              "%zu-operator zipfian corpus\n\n",
+              Requests, Workers, Corpus.size());
+
+  // --- Phase 1: throughput and latency, no admission pressure. -------
+  service::DaemonConfig Cfg;
+  Cfg.Workers = Workers;
+  Cfg.Admission.QueueCapacity = Requests + 1; // Nothing sheds here.
+  PhaseResult T = drive(Cfg, Corpus, Requests, /*PacedRps=*/0, 42);
+
+  double Rps = T.WallMs > 0 ? T.Submitted / (T.WallMs / 1000.0) : 0;
+  double HitRate = T.Ok ? static_cast<double>(T.Hits) / T.Ok : 0;
+  double P50 = percentile(T.LatencyUs, 0.50);
+  double P99 = percentile(T.LatencyUs, 0.99);
+  std::printf("  throughput  %8.1f req/s   (%zu requests in %.1f ms)\n",
+              Rps, T.Submitted, T.WallMs);
+  std::printf("  latency     p50 %8.0f us   p99 %8.0f us\n", P50, P99);
+  std::printf("  cache       %.1f%% hit rate over the zipfian stream\n",
+              HitRate * 100);
+
+  // --- Phase 2: 2x overload against a small queue. -------------------
+  // Capacity is what the pool can actually compile with the cache off
+  // (every request costs a full schedule), calibrated directly from
+  // single-threaded cold compiles. Offered load is twice that against
+  // an 8-deep queue; the shed policy must absorb the excess.
+  double ColdMs = meanColdCompileMs(Kernels);
+  double ColdRps = Workers * 1000.0 / std::max(ColdMs, 0.01);
+  service::DaemonConfig Overload;
+  Overload.Workers = Workers;
+  Overload.Admission.QueueCapacity = 8;
+  Overload.Cache.Capacity = 0; // Every request compiles cold.
+  std::size_t OverloadRequests = std::min<std::size_t>(Requests, 120);
+  PhaseResult O =
+      drive(Overload, Corpus, OverloadRequests, 2.0 * ColdRps, 43);
+  double ShedRate =
+      O.Submitted ? static_cast<double>(O.Shed) / O.Submitted : 0;
+  std::printf("\n  overload    offered %.1f req/s (2x est. capacity), "
+              "shed %.1f%% (%zu of %zu)\n",
+              2.0 * ColdRps, ShedRate * 100, O.Shed, O.Submitted);
+
+  // --- Gates. --------------------------------------------------------
+  bool ResponsesOk =
+      T.Responses == T.Submitted && O.Responses == O.Submitted;
+  bool HitOk = HitRate > 0.5;
+  bool ShedOk = O.Shed > 0;
+  std::printf("\n  every request answered exactly once: %s\n",
+              ResponsesOk ? "yes" : "NO");
+  std::printf("  zipfian hit rate %s the 50%% bar\n",
+              HitOk ? "meets" : "MISSES");
+  std::printf("  2x overload sheds: %s\n", ShedOk ? "yes" : "NO");
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    Out << "{\n"
+        << "  \"requests\": " << T.Submitted << ",\n"
+        << "  \"workers\": " << Workers << ",\n"
+        << "  \"throughput_rps\": " << obs::json::number(Rps) << ",\n"
+        << "  \"p50_us\": " << obs::json::number(P50) << ",\n"
+        << "  \"p99_us\": " << obs::json::number(P99) << ",\n"
+        << "  \"hit_rate\": " << obs::json::number(HitRate) << ",\n"
+        << "  \"shed_rate_2x\": " << obs::json::number(ShedRate) << "\n"
+        << "}\n";
+    std::printf("\n  wrote %s\n", JsonPath.c_str());
+  }
+  return ResponsesOk && HitOk && ShedOk ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+//===- service/Admission.cpp ----------------------------------------------===//
+
+#include "service/Admission.h"
+
+#include "support/FailPoint.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace pinj;
+using namespace pinj::service;
+
+const char *service::shedReasonName(ShedReason R) {
+  switch (R) {
+  case ShedReason::DeadlineExpired:
+    return "deadline_expired";
+  case ShedReason::QueueFull:
+    return "queue_full";
+  case ShedReason::Draining:
+    return "draining";
+  }
+  return "unknown";
+}
+
+SolverBudget service::budgetForRemaining(double RemainingMs,
+                                         const SolverBudget &Base) {
+  SolverBudget B = Base;
+  double Remaining = std::max(RemainingMs, 0.0);
+  // The wall limit must never promise the solver time the client will
+  // not wait for. A base WallMs of 0 means "unlimited", so the deadline
+  // alone caps it; otherwise the tighter of the two wins. An exactly
+  // expired deadline still needs a positive-but-tiny limit: WallMs <= 0
+  // would read as "unlimited" (SolverBudget convention), inverting the
+  // meaning entirely.
+  double Capped = Base.WallMs > 0 ? std::min(Base.WallMs, Remaining)
+                                  : Remaining;
+  B.WallMs = std::max(Capped, 1e-3);
+  return B;
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig C)
+    : Cfg(std::move(C)), Epoch(std::chrono::steady_clock::now()) {
+  if (Cfg.QueueCapacity == 0)
+    Cfg.QueueCapacity = 1;
+  if (Cfg.RetryHintMs <= 0)
+    Cfg.RetryHintMs = 10.0;
+}
+
+double AdmissionQueue::retryAfterMs(std::size_t Depth) const {
+  // Depth-proportional backoff: the deeper the backlog at shed time,
+  // the longer the client should stay away. Always strictly positive —
+  // a zero hint would invite an immediate, identical retry.
+  return std::max(1.0, Cfg.RetryHintMs * static_cast<double>(Depth + 1));
+}
+
+AdmissionQueue::OrderKey AdmissionQueue::keyFor(const DaemonRequest &R) const {
+  if (!R.HasDeadline)
+    return {std::numeric_limits<std::int64_t>::max(), NextSeq};
+  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                R.Deadline - Epoch)
+                .count();
+  return {static_cast<std::int64_t>(Us), NextSeq};
+}
+
+bool AdmissionQueue::admit(DaemonRequest R, ShedDecision &Shed) {
+  failpoint::hit("service.queue");
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (Closed) {
+    Shed.Reason = ShedReason::Draining;
+    Shed.RetryAfterMs = retryAfterMs(Queue.size());
+    return false;
+  }
+  if (R.HasDeadline && R.Deadline <= std::chrono::steady_clock::now()) {
+    Shed.Reason = ShedReason::DeadlineExpired;
+    Shed.RetryAfterMs = retryAfterMs(Queue.size());
+    return false;
+  }
+  if (Queue.size() >= Cfg.QueueCapacity) {
+    Shed.Reason = ShedReason::QueueFull;
+    Shed.RetryAfterMs = retryAfterMs(Queue.size());
+    return false;
+  }
+  OrderKey Key = keyFor(R);
+  ++NextSeq;
+  Queue.emplace(Key, std::move(R));
+  Lock.unlock();
+  Ready.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::pop(DaemonRequest &Out) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Ready.wait(Lock, [this] { return Closed || !Queue.empty(); });
+  if (Queue.empty())
+    return false;
+  Out = std::move(Queue.begin()->second);
+  Queue.erase(Queue.begin());
+  return true;
+}
+
+bool AdmissionQueue::tryPop(DaemonRequest &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Queue.empty())
+    return false;
+  Out = std::move(Queue.begin()->second);
+  Queue.erase(Queue.begin());
+  return true;
+}
+
+std::vector<DaemonRequest> AdmissionQueue::close() {
+  std::vector<DaemonRequest> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+    Orphans.reserve(Queue.size());
+    for (auto &KV : Queue)
+      Orphans.push_back(std::move(KV.second));
+    Queue.clear();
+  }
+  Ready.notify_all();
+  return Orphans;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Queue.size();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Closed;
+}

@@ -1,0 +1,157 @@
+//===- service/Admission.h - Deadline-ordered admission control -*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Admission control for the compilation daemon: a bounded,
+/// earliest-deadline-first request queue with explicit overload
+/// shedding.
+///
+/// Policy, in order:
+///   1. A request whose deadline has already passed is shed immediately
+///      (`deadline_expired`) — compiling it would waste budget that a
+///      live request could use.
+///   2. A full queue sheds the new arrival (`queue_full`) rather than
+///      growing without bound or silently degrading everyone; the shed
+///      response carries a `retry_after_ms` hint proportional to the
+///      queue depth, so clients back off harder the deeper the backlog.
+///   3. Otherwise the request is inserted in earliest-deadline-first
+///      order (deadline-less requests sort last, FIFO among
+///      themselves), so under pressure the work most likely to still
+///      matter runs first.
+///
+/// Budgets: `budgetForRemaining` converts a request's remaining
+/// deadline into a per-request SolverBudget — the wall-clock limit is
+/// never allowed to exceed the time the client will actually wait, so
+/// the solver cannot burn milliseconds nobody can use. Pivot/node caps
+/// come from the daemon's base budget unchanged.
+///
+/// The queue is the boundary between the intake thread and the worker
+/// pool; all methods are thread-safe. `close()` flips it into draining
+/// mode: pops drain the backlog the caller chose to keep, new arrivals
+/// shed with `draining`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_SERVICE_ADMISSION_H
+#define POLYINJECT_SERVICE_ADMISSION_H
+
+#include "ir/Kernel.h"
+#include "lp/Budget.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pinj {
+namespace service {
+
+/// Why a request was refused admission.
+enum class ShedReason {
+  DeadlineExpired, ///< Deadline already passed at admission or at pop.
+  QueueFull,       ///< Bounded queue at capacity.
+  Draining,        ///< Daemon is shutting down.
+};
+
+/// Stable wire name for \p R ("deadline_expired", ...).
+const char *shedReasonName(ShedReason R);
+
+/// One admitted unit of work: a parsed compile request plus its
+/// identity and deadline.
+struct DaemonRequest {
+  std::string ClientId;  ///< Client-chosen "id" echoed in responses.
+  std::string RequestId; ///< Journal request id (obs::nextRequestId).
+  std::uint64_t LineNo = 0; ///< Per-session submit index (response echo).
+  Kernel K;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline; ///< Valid iff HasDeadline.
+  double DeadlineMs = 0; ///< As requested, for journal/telemetry only.
+};
+
+/// The shed verdict handed back to the intake loop.
+struct ShedDecision {
+  ShedReason Reason = ShedReason::QueueFull;
+  double RetryAfterMs = 0; ///< Always > 0; scales with queue depth.
+};
+
+struct AdmissionConfig {
+  /// Bounded queue capacity; arrivals beyond it shed with queue_full.
+  std::size_t QueueCapacity = 64;
+  /// Base unit of the retry_after_ms hint: a depth-D shed suggests
+  /// RetryHintMs * (D + 1) milliseconds of client backoff.
+  double RetryHintMs = 10.0;
+  /// Per-request budget template; WallMs (if set) caps even generous
+  /// deadlines, and pivot/node limits pass through unchanged.
+  SolverBudget BaseBudget;
+};
+
+/// Derives the effective per-request budget from \p RemainingMs of
+/// deadline: WallMs = min(Base.WallMs, RemainingMs) when the base has a
+/// wall limit, else RemainingMs itself. Negative remaining time clamps
+/// to a zero-width (instantly exhausted) wall budget, never a negative
+/// one. With no deadline (\p RemainingMs < 0 disallowed; pass
+/// HasDeadline=false via the overload) the base budget is used as-is.
+SolverBudget budgetForRemaining(double RemainingMs,
+                                const SolverBudget &Base);
+
+/// The bounded EDF queue.
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(AdmissionConfig C);
+
+  /// Admits or sheds \p R (see file comment for the policy). On shed,
+  /// returns false and fills \p Shed. May raise RecoverableError via
+  /// the `service.queue` fail-point; the caller owns converting that
+  /// into a terminal error response.
+  bool admit(DaemonRequest R, ShedDecision &Shed);
+
+  /// Blocks for the earliest-deadline request; returns false when the
+  /// queue is closed and empty (worker shutdown signal).
+  bool pop(DaemonRequest &Out);
+
+  /// Non-blocking pop for synchronous (single-threaded) serving.
+  bool tryPop(DaemonRequest &Out);
+
+  /// Closes intake and wakes all waiters. \returns the still-queued
+  /// requests, removed from the queue, so the caller can shed each one
+  /// with a terminal `draining` response (nothing admitted is ever
+  /// silently dropped).
+  std::vector<DaemonRequest> close();
+
+  std::size_t depth() const;
+  bool closed() const;
+
+  /// The backoff hint for a shed observed at queue depth \p Depth.
+  double retryAfterMs(std::size_t Depth) const;
+
+  const AdmissionConfig &config() const { return Cfg; }
+
+private:
+  // EDF order: key is (deadline in µs since the queue epoch, arrival
+  // sequence). Deadline-less requests use the maximum key so they sort
+  // after every deadlined request; the sequence breaks ties FIFO.
+  using OrderKey = std::pair<std::int64_t, std::uint64_t>;
+
+  OrderKey keyFor(const DaemonRequest &R) const;
+
+  AdmissionConfig Cfg;
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  std::condition_variable Ready;
+  std::map<OrderKey, DaemonRequest> Queue;
+  std::uint64_t NextSeq = 0;
+  bool Closed = false;
+};
+
+} // namespace service
+} // namespace pinj
+
+#endif // POLYINJECT_SERVICE_ADMISSION_H

@@ -2,9 +2,11 @@
 
 #include "service/Cache.h"
 
+#include "obs/Journal.h"
 #include "obs/Metrics.h"
 #include "sched/Schedule.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -44,8 +46,44 @@ obs::Counter &diskRejectCounter() {
       obs::metrics().counter("service.cache.disk_rejects");
   return C;
 }
+obs::Counter &quarantineCounter() {
+  static obs::Counter &C =
+      obs::metrics().counter("service.cache.quarantined");
+  return C;
+}
 
 constexpr const char *FormatHeader = "polyinject-cache v1";
+constexpr const char *QuarantineSubdir = "quarantine";
+
+/// Moves \p Path into <Dir>/quarantine/ keeping the file name, creating
+/// the directory on demand. A name collision overwrites the previous
+/// quarantined copy (same corruption, newer evidence). \returns the new
+/// path, or "" when the move could not be made (the file then stays in
+/// place and will be rejected again — correct, just slower).
+std::string quarantineFile(const std::string &Dir, const std::string &Path,
+                           const std::string &Why) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::path QDir = fs::path(Dir) / QuarantineSubdir;
+  fs::create_directories(QDir, Ec);
+  if (Ec)
+    return std::string();
+  fs::path Dest = QDir / fs::path(Path).filename();
+  fs::rename(Path, Dest, Ec);
+  if (Ec) {
+    // Cross-device or permission trouble: fall back to copy+remove so
+    // the entry still leaves the hot path.
+    fs::copy_file(Path, Dest, fs::copy_options::overwrite_existing, Ec);
+    if (Ec)
+      return std::string();
+    fs::remove(Path, Ec);
+  }
+  quarantineCounter().inc();
+  obs::JournalEvent("quarantine")
+      .field("file", fs::path(Path).filename().string())
+      .field("reason", Why);
+  return Dest.string();
+}
 
 } // namespace
 
@@ -174,22 +212,70 @@ bool service::decodeCacheEntry(const std::string &Text,
 
 ScheduleCache::ScheduleCache() : ScheduleCache(Config()) {}
 
-ScheduleCache::ScheduleCache(Config C) : Cfg(std::move(C)) {}
+ScheduleCache::ScheduleCache(Config C) : Cfg(std::move(C)) {
+  std::size_t N = std::min<std::size_t>(std::max<std::size_t>(Cfg.Stripes, 1),
+                                        256);
+  // More stripes than capacity slots would leave shards with zero
+  // entries each; each shard always gets at least one slot.
+  ShardCapacity = Cfg.Capacity == 0 ? 0 : std::max<std::size_t>(
+                                              Cfg.Capacity / N, 1);
+  ShardCapBytes = Cfg.MemoryCapBytes == 0
+                      ? 0
+                      : std::max<std::size_t>(Cfg.MemoryCapBytes / N, 1);
+  Shards.reserve(N);
+  for (std::size_t I = 0; I != N; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+ScheduleCache::Shard &ScheduleCache::shardFor(const Fingerprint &Key) {
+  return *Shards[(Key.Hi ^ Key.Lo) % Shards.size()];
+}
+
+const ScheduleCache::Shard &
+ScheduleCache::shardFor(const Fingerprint &Key) const {
+  return *Shards[(Key.Hi ^ Key.Lo) % Shards.size()];
+}
 
 CacheStats ScheduleCache::stats() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return Stats;
+  CacheStats Sum;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    Sum.Hits += S->Stats.Hits;
+    Sum.Misses += S->Stats.Misses;
+    Sum.Evictions += S->Stats.Evictions;
+    Sum.Stores += S->Stats.Stores;
+    Sum.DiskHits += S->Stats.DiskHits;
+    Sum.DiskRejects += S->Stats.DiskRejects;
+    Sum.Quarantined += S->Stats.Quarantined;
+  }
+  return Sum;
 }
 
 std::size_t ScheduleCache::size() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return Lru.size();
+  std::size_t N = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    N += S->Lru.size();
+  }
+  return N;
+}
+
+std::size_t ScheduleCache::memoryBytes() const {
+  std::size_t N = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    N += S->Bytes;
+  }
+  return N;
 }
 
 void ScheduleCache::clearMemory() {
-  std::lock_guard<std::mutex> L(Mu);
-  Lru.clear();
-  Index.clear();
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> L(S->Mu);
+    S->Lru.clear();
+    S->Index.clear();
+    S->Bytes = 0;
+  }
 }
 
 std::string ScheduleCache::diskPathFor(const Fingerprint &Key) const {
@@ -199,36 +285,67 @@ std::string ScheduleCache::diskPathFor(const Fingerprint &Key) const {
       .string();
 }
 
+std::string ScheduleCache::quarantineDir() const {
+  if (Cfg.DiskDir.empty())
+    return std::string();
+  return (std::filesystem::path(Cfg.DiskDir) / QuarantineSubdir).string();
+}
+
 bool ScheduleCache::memoryLookup(const Fingerprint &Key,
                                  CachedCompilation &Out) {
-  std::lock_guard<std::mutex> L(Mu);
-  auto It = Index.find(Key);
-  if (It == Index.end())
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end())
     return false;
-  Lru.splice(Lru.begin(), Lru, It->second);
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Out = It->second->Value;
   return true;
 }
 
 void ScheduleCache::insertMemory(const Fingerprint &Key,
                                  const CachedCompilation &Value) {
-  if (Cfg.Capacity == 0)
+  if (ShardCapacity == 0)
     return;
-  std::lock_guard<std::mutex> L(Mu);
-  auto It = Index.find(Key);
-  if (It != Index.end()) {
+  // Approximate the footprint with the serialized size — computed
+  // outside the shard lock; it dominates the actual heap cost and gives
+  // MemoryCapBytes a stable, testable meaning.
+  std::size_t Bytes = encodeCacheEntry(Key, Value).size();
+  if (ShardCapBytes != 0 && Bytes > ShardCapBytes)
+    return; // Larger than a whole shard slice: serve it, don't keep it.
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
+    S.Bytes -= It->second->Bytes;
+    S.Bytes += Bytes;
     It->second->Value = Value;
-    Lru.splice(Lru.begin(), Lru, It->second);
+    It->second->Bytes = Bytes;
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
     return;
   }
-  Lru.push_front(Entry{Key, Value});
-  Index[Key] = Lru.begin();
-  while (Lru.size() > Cfg.Capacity) {
-    Index.erase(Lru.back().Key);
-    Lru.pop_back();
-    ++Stats.Evictions;
+  S.Lru.push_front(Entry{Key, Value, Bytes});
+  S.Index[Key] = S.Lru.begin();
+  S.Bytes += Bytes;
+  while (S.Lru.size() > ShardCapacity ||
+         (ShardCapBytes != 0 && S.Bytes > ShardCapBytes)) {
+    S.Bytes -= S.Lru.back().Bytes;
+    S.Index.erase(S.Lru.back().Key);
+    S.Lru.pop_back();
+    ++S.Stats.Evictions;
     evictCounter().inc();
   }
+}
+
+void ScheduleCache::quarantineRejected(const std::string &Path,
+                                       const std::string &Why, Shard &S) {
+  if (!Cfg.QuarantineRejects)
+    return;
+  std::string Dest = quarantineFile(Cfg.DiskDir, Path, Why);
+  if (Dest.empty())
+    return;
+  std::lock_guard<std::mutex> L(S.Mu);
+  ++S.Stats.Quarantined;
 }
 
 bool ScheduleCache::diskLookup(const Fingerprint &Key, const Kernel &K,
@@ -249,16 +366,24 @@ bool ScheduleCache::diskLookup(const Fingerprint &Key, const Kernel &K,
   }
   std::string Error;
   CachedCompilation Decoded;
-  if (!decodeCacheEntry(Text, Key, Decoded, Error) ||
-      !Decoded.Isl.compatibleWith(K) || !Decoded.Novec.compatibleWith(K) ||
-      !Decoded.Infl.compatibleWith(K)) {
-    // Corrupt, truncated, stale-format or wrong-shape entry: count it
-    // and fall through to a miss. Never an error.
+  bool Ok = decodeCacheEntry(Text, Key, Decoded, Error);
+  if (Ok && (!Decoded.Isl.compatibleWith(K) ||
+             !Decoded.Novec.compatibleWith(K) ||
+             !Decoded.Infl.compatibleWith(K))) {
+    Ok = false;
+    Error = "schedule incompatible with kernel";
+  }
+  if (!Ok) {
+    // Corrupt, truncated, stale-format or wrong-shape entry: count it,
+    // move it aside so this is the *last* time it is read, and fall
+    // through to a miss. Never an error.
+    Shard &S = shardFor(Key);
     {
-      std::lock_guard<std::mutex> L(Mu);
-      ++Stats.DiskRejects;
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.Stats.DiskRejects;
     }
     diskRejectCounter().inc();
+    quarantineRejected(Path, Error, S);
     return false;
   }
   Out = std::move(Decoded);
@@ -299,10 +424,11 @@ void ScheduleCache::diskStore(const Fingerprint &Key,
 bool ScheduleCache::lookup(const Kernel &K, const PipelineOptions &Options,
                            CachedCompilation &Out) {
   Fingerprint Key = fingerprintRequest(K, Options);
+  Shard &S = shardFor(Key);
   if (memoryLookup(Key, Out)) {
     {
-      std::lock_guard<std::mutex> L(Mu);
-      ++Stats.Hits;
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.Stats.Hits;
     }
     hitCounter().inc();
     return true;
@@ -310,17 +436,17 @@ bool ScheduleCache::lookup(const Kernel &K, const PipelineOptions &Options,
   if (diskLookup(Key, K, Out)) {
     insertMemory(Key, Out);
     {
-      std::lock_guard<std::mutex> L(Mu);
-      ++Stats.Hits;
-      ++Stats.DiskHits;
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.Stats.Hits;
+      ++S.Stats.DiskHits;
     }
     hitCounter().inc();
     diskHitCounter().inc();
     return true;
   }
   {
-    std::lock_guard<std::mutex> L(Mu);
-    ++Stats.Misses;
+    std::lock_guard<std::mutex> L(S.Mu);
+    ++S.Stats.Misses;
   }
   missCounter().inc();
   return false;
@@ -336,10 +462,95 @@ void ScheduleCache::store(const Kernel &K, const PipelineOptions &Options,
     return;
   Fingerprint Key = fingerprintRequest(K, Options);
   insertMemory(Key, Entry);
+  Shard &S = shardFor(Key);
   {
-    std::lock_guard<std::mutex> L(Mu);
-    ++Stats.Stores;
+    std::lock_guard<std::mutex> L(S.Mu);
+    ++S.Stats.Stores;
   }
   storeCounter().inc();
   diskStore(Key, Entry);
+}
+
+//===----------------------------------------------------------------------===//
+// Startup sweep
+//===----------------------------------------------------------------------===//
+
+SweepReport service::sweepCacheDir(const std::string &DiskDir) {
+  SweepReport Report;
+  if (DiskDir.empty())
+    return Report;
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (!fs::is_directory(DiskDir, Ec) || Ec)
+    return Report; // Nothing persisted yet: an empty, clean report.
+
+  // Deterministic order: collect then sort, so two sweeps of the same
+  // damage journal the same sequence (the recovery test compares runs).
+  std::vector<std::string> Paths;
+  for (const fs::directory_entry &E : fs::directory_iterator(DiskDir, Ec)) {
+    if (Ec)
+      break;
+    if (!E.is_regular_file())
+      continue; // Skips the quarantine/ subdirectory itself.
+    Paths.push_back(E.path().string());
+  }
+  std::sort(Paths.begin(), Paths.end());
+
+  for (const std::string &Path : Paths) {
+    ++Report.Scanned;
+    fs::path P(Path);
+    std::string Name = P.filename().string();
+    std::string Why;
+
+    if (P.extension() == ".psc") {
+      // A committed entry: its stem must be a fingerprint and its
+      // payload must decode against that fingerprint, exactly as a
+      // lookup would demand.
+      Fingerprint Key;
+      if (!Fingerprint::fromHex(P.stem().string(), Key)) {
+        Why = "file name is not a fingerprint";
+      } else {
+        std::string Text;
+        {
+          std::ifstream In(Path, std::ios::binary);
+          std::ostringstream Buf;
+          if (In)
+            Buf << In.rdbuf();
+          if (!In || In.bad())
+            Why = "unreadable";
+          else
+            Text = Buf.str();
+        }
+        if (Why.empty()) {
+          CachedCompilation Decoded;
+          std::string Error;
+          if (!decodeCacheEntry(Text, Key, Decoded, Error))
+            Why = Error;
+        }
+      }
+      if (Why.empty()) {
+        ++Report.Kept;
+        continue;
+      }
+    } else if (Name.find(".tmp.") != std::string::npos) {
+      // A torn write: the process died between open and rename. The
+      // rename-atomic protocol guarantees no reader ever trusted it,
+      // but it still occupies the directory — move it aside.
+      Why = "stranded temp file (torn write)";
+    } else {
+      // Unknown debris (editors, copies): leave it alone. The lookup
+      // path never reads it, so it cannot poison anything.
+      ++Report.Kept;
+      continue;
+    }
+
+    std::string Dest = quarantineFile(DiskDir, Path, Why);
+    if (!Dest.empty()) {
+      ++Report.Quarantined;
+      Report.QuarantinedFiles.push_back(Dest);
+    } else {
+      ++Report.Kept; // Could not move it; it stays, still inert.
+    }
+  }
+  return Report;
 }

@@ -1,0 +1,235 @@
+//===- service/Daemon.h - Persistent compilation daemon ---------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived compilation service: a JSONL request loop over the
+/// pipeline, hardened for fleet duty. One request per input line, one
+/// JSONL response line per request — *exactly* one, which is the
+/// invariant everything here is built around and the chaos harness
+/// (`runChaos`) asserts end to end.
+///
+/// Request shapes (all one-line JSON objects):
+///   {"id":"k1","kernel":"<inline .pinj text>","deadline_ms":250}
+///   {"id":"k2","kernel_file":"ops/bias.pinj"}
+///   {"id":"p1","op":"ping"} | {"op":"stats"} | {"op":"shutdown"}
+///
+/// Responses echo the client id plus a per-session "line" index and a
+/// "status" of ok | shed | error | pong | stats | bye. A shed response
+/// carries the reason and a `retry_after_ms` backoff hint; an error
+/// response is attributed to its originating site when one is known.
+///
+/// Hardening layers, bottom up:
+///  - AdmissionQueue (service/Admission.h): EDF ordering, bounded-queue
+///    shedding, deadline-derived per-request solver budgets.
+///  - ScheduleCache (service/Cache.h): striped memory tier over the
+///    disk tier; construction sweeps the disk cache and tuning DB,
+///    quarantining damage so a kill -9 mid-write never poisons state.
+///  - Fail-points at the daemon's own boundaries (`service.parse`,
+///    `service.queue`, `service.respond`, `service.drain`), each caught
+///    and converted to an attributed terminal response.
+///  - Graceful drain: intake closes, queued requests shed with
+///    `draining`, in-flight work finishes under DrainDeadlineMs, then a
+///    `drain` journal event records whether the stop was clean.
+///
+/// Every admission decision is journaled (`admit`, `shed`, `drain`,
+/// `quarantine` events) under the request's id, joinable with report
+/// and trace artifacts via tools/polyinject-stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_SERVICE_DAEMON_H
+#define POLYINJECT_SERVICE_DAEMON_H
+
+#include "pipeline/Pipeline.h"
+#include "service/Admission.h"
+#include "service/Cache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pinj {
+namespace service {
+
+struct DaemonConfig {
+  /// Worker threads consuming the admission queue (ignored in Sync
+  /// mode). Clamped to at least 1.
+  std::size_t Workers = 2;
+  AdmissionConfig Admission;
+  ScheduleCache::Config Cache;
+  /// When set, the startup sweep probes this tuning database and
+  /// quarantines a copy if any entry was rejected.
+  std::string TuningDbPath;
+  /// How long drainAndStop waits for in-flight requests before
+  /// declaring the drain unclean (workers are still joined).
+  double DrainDeadlineMs = 5000;
+  /// Process each submitted line to its terminal response before
+  /// returning (no worker threads). Admission, shedding and budgets
+  /// still apply; response bytes become submission-ordered and
+  /// deterministic — the protocol test runs this way.
+  bool Sync = false;
+  /// Include wall-clock fields in ok responses (nondeterministic;
+  /// benchmarks only).
+  bool TimingInResponses = false;
+  /// Base pipeline tunables; per-request budgets overlay
+  /// Pipeline.Budget.
+  PipelineOptions Pipeline;
+};
+
+/// Monotonic daemon counters (point-in-time copy; see stats()).
+struct DaemonStats {
+  std::uint64_t Submitted = 0;     ///< Input lines seen.
+  std::uint64_t Admitted = 0;      ///< Compile requests queued.
+  std::uint64_t Completed = 0;     ///< Ok responses produced.
+  std::uint64_t ShedExpired = 0;   ///< deadline_expired sheds.
+  std::uint64_t ShedQueueFull = 0; ///< queue_full sheds.
+  std::uint64_t ShedDraining = 0;  ///< draining sheds.
+  std::uint64_t ParseErrors = 0;   ///< Malformed lines / bad kernels.
+  std::uint64_t FaultResponses = 0; ///< Responses forced by fail-points.
+  std::uint64_t Responses = 0;     ///< Total response lines delivered.
+  std::uint64_t DrainTimeouts = 0; ///< Drains that missed the deadline.
+
+  std::uint64_t shedTotal() const {
+    return ShedExpired + ShedQueueFull + ShedDraining;
+  }
+};
+
+/// What the startup recovery pass found (see Daemon constructor).
+struct RecoveryReport {
+  SweepReport Cache;                  ///< Disk cache sweep.
+  std::uint64_t TuningDbRejects = 0;  ///< Damaged tuning DB entries.
+  bool TuningDbQuarantined = false;   ///< A copy was moved aside.
+};
+
+class Daemon {
+public:
+  /// Receives each complete response line (no trailing newline). Called
+  /// under an internal lock: response lines never interleave.
+  using ResponseFn = std::function<void(const std::string &Line)>;
+
+  /// Construction runs the crash-recovery sweep: every disk cache entry
+  /// is validated and damage quarantined (service/Cache.h), and the
+  /// tuning DB (if configured) is probed the same way.
+  explicit Daemon(DaemonConfig C);
+  ~Daemon();
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Installs the response sink and (outside Sync mode) spawns the
+  /// worker pool. Must be called exactly once, before submitLine.
+  void start(ResponseFn Fn);
+
+  /// Feeds one request line through parse → admission → (Sync only)
+  /// execution. Thread-safe with respect to deliveries; intake itself
+  /// is single-threaded by contract (one reader loop).
+  void submitLine(const std::string &Line);
+
+  /// Graceful shutdown: closes intake, sheds the queue with `draining`
+  /// responses, waits up to DrainDeadlineMs for in-flight requests,
+  /// joins the workers and journals the outcome. Idempotent.
+  void drainAndStop();
+
+  /// True once drainAndStop finished inside its deadline.
+  bool cleanDrain() const { return CleanDrain.load(); }
+
+  /// True once an {"op":"shutdown"} request was accepted.
+  bool shutdownRequested() const { return ShutdownOp.load(); }
+
+  DaemonStats stats() const;
+  const RecoveryReport &recovery() const { return Recovery; }
+  ScheduleCache &cache() { return CacheTier; }
+
+  /// Blocking serve loop: getline from \p In, responses to \p Out
+  /// (flushed per line), drain on EOF, shutdown request or
+  /// requestStop(). \returns 0 on a clean drain, 1 otherwise.
+  int serve(std::istream &In, std::ostream &Out);
+
+  /// Async-signal-safe stop flag for SIGINT/SIGTERM handlers; serve()
+  /// checks it between lines.
+  static void requestStop();
+  static bool stopRequested();
+
+private:
+  void workerLoop();
+  void process(DaemonRequest R);
+  void deliver(const std::string &ClientId, std::uint64_t LineNo,
+               std::string Line);
+  void shedResponse(const DaemonRequest &R, ShedReason Reason,
+                    double RetryAfterMs);
+
+  DaemonConfig Cfg;
+  ScheduleCache CacheTier;
+  RecoveryReport Recovery;
+  AdmissionQueue Queue;
+  ResponseFn Respond;
+  std::mutex RespondMu;
+  std::vector<std::thread> Pool;
+
+  std::atomic<std::uint64_t> Submitted{0};
+  std::atomic<std::uint64_t> Admitted{0};
+  std::atomic<std::uint64_t> Completed{0};
+  std::atomic<std::uint64_t> ShedExpired{0};
+  std::atomic<std::uint64_t> ShedQueueFull{0};
+  std::atomic<std::uint64_t> ShedDraining{0};
+  std::atomic<std::uint64_t> ParseErrors{0};
+  std::atomic<std::uint64_t> FaultResponses{0};
+  std::atomic<std::uint64_t> Responses{0};
+  std::atomic<std::uint64_t> DrainTimeouts{0};
+
+  std::atomic<bool> ShutdownOp{false};
+  std::atomic<bool> Drained{false};
+  std::atomic<bool> CleanDrain{true};
+
+  std::mutex DrainMu;
+  std::condition_variable DrainCv;
+  std::size_t LiveWorkers = 0; ///< Guarded by DrainMu.
+};
+
+//===----------------------------------------------------------------------===//
+// Chaos harness
+//===----------------------------------------------------------------------===//
+
+/// Outcome of one chaos run (see runChaos).
+struct ChaosReport {
+  std::size_t Submitted = 0;
+  std::size_t Responses = 0;
+  std::size_t Ok = 0;
+  std::size_t Shed = 0;
+  std::size_t Errors = 0;
+  std::size_t Other = 0; ///< pong/stats/bye.
+  /// One entry per violated invariant (a line with zero or multiple
+  /// terminal responses, or an unattributable response). Empty on a
+  /// healthy run.
+  std::vector<std::string> Violations;
+
+  bool invariantHolds() const {
+    return Violations.empty() && Responses == Submitted;
+  }
+};
+
+/// Drives a fresh daemon built from \p Base with \p Requests
+/// pseudo-random requests (seeded by \p Seed): a mix of valid compiles
+/// over small operators, malformed lines, missing kernels, and expired
+/// / tight / generous deadlines, while fail-points toggle at random —
+/// or, when \p ForceSite is given, with exactly that site active for
+/// the whole run (the per-site sweep in the tests). Asserts the
+/// one-terminal-response-per-submitted-line invariant and leaves the
+/// fail-point registry clear.
+ChaosReport runChaos(const DaemonConfig &Base, std::uint64_t Seed,
+                     std::size_t Requests, const char *ForceSite = nullptr);
+
+} // namespace service
+} // namespace pinj
+
+#endif // POLYINJECT_SERVICE_DAEMON_H

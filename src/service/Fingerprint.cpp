@@ -30,6 +30,26 @@ std::string Fingerprint::str() const {
   return Out;
 }
 
+bool Fingerprint::fromHex(const std::string &Hex, Fingerprint &Out) {
+  if (Hex.size() != 32)
+    return false;
+  std::uint64_t Lanes[2] = {0, 0};
+  for (unsigned I = 0; I != 32; ++I) {
+    char C = Hex[I];
+    unsigned Nibble;
+    if (C >= '0' && C <= '9')
+      Nibble = unsigned(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Nibble = unsigned(C - 'a') + 10;
+    else
+      return false;
+    Lanes[I / 16] = (Lanes[I / 16] << 4) | Nibble;
+  }
+  Out.Hi = Lanes[0];
+  Out.Lo = Lanes[1];
+  return true;
+}
+
 FingerprintBuilder::FingerprintBuilder() : Hi(FnvOffset), Lo(Lane2Offset) {}
 
 void FingerprintBuilder::byte(std::uint8_t B) {

@@ -53,6 +53,11 @@ struct Fingerprint {
 
   /// 32 lowercase hex characters (Hi then Lo); the on-disk file stem.
   std::string str() const;
+
+  /// Parses the str() form back. \returns false on anything but exactly
+  /// 32 lowercase hex characters (the cache sweep validates on-disk file
+  /// names with this).
+  static bool fromHex(const std::string &Hex, Fingerprint &Out);
 };
 
 /// Incremental two-lane FNV-1a hasher. Multi-byte values are fed in a

@@ -5,7 +5,9 @@
 #include "support/Status.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -14,7 +16,10 @@ using namespace pinj;
 namespace {
 
 // Keep this catalog in sync with the hit() calls across the pipeline and
-// with the fail-point table in DESIGN.md ("Failure model").
+// with the fail-point table in DESIGN.md ("Failure model"). Sites under
+// the "service." prefix fire at the compilation daemon's own boundaries
+// (service/Daemon.cpp, service/Admission.cpp) rather than inside
+// runOperator; the pipeline fail-point sweep filters them out.
 const char *const Sites[] = {
     "lp.simplex",       // solveLp entry (every relaxation).
     "lp.ilp",           // solveIlp entry (every branch-and-bound run).
@@ -26,10 +31,20 @@ const char *const Sites[] = {
     "gpusim.simulate",  // simulateKernel entry.
     "exec.interpret",   // scheduleIsSemanticallyEqual entry (validation).
     "baselines.tvm",    // simulateTvmProxy entry.
+    "service.parse",    // Daemon request-line parse boundary.
+    "service.queue",    // AdmissionQueue::admit insert boundary.
+    "service.respond",  // Daemon response write boundary.
+    "service.drain",    // Daemon drain entry.
 };
 
+// The registry is shared between the daemon's worker threads and the
+// chaos harness, which activates and clears sites while requests are in
+// flight — so the set is mutex-guarded, with a relaxed atomic count
+// keeping the nothing-active fast path lock-free.
 struct Registry {
+  std::mutex Mu;
   std::set<std::string> Active;
+  std::atomic<std::size_t> ActiveCount{0};
 
   Registry() {
     if (const char *Env = std::getenv("POLYINJECT_FAILPOINTS")) {
@@ -39,6 +54,7 @@ struct Registry {
         if (!Name.empty())
           Active.insert(Name);
     }
+    ActiveCount.store(Active.size(), std::memory_order_relaxed);
   }
 };
 
@@ -56,8 +72,11 @@ const std::vector<const char *> &pinj::failpoint::allSites() {
 }
 
 bool pinj::failpoint::isActive(const char *Name) {
-  const Registry &R = registry();
-  return !R.Active.empty() && R.Active.count(Name) != 0;
+  Registry &R = registry();
+  if (R.ActiveCount.load(std::memory_order_relaxed) == 0)
+    return false;
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Active.count(Name) != 0;
 }
 
 void pinj::failpoint::hit(const char *Name) {
@@ -66,11 +85,22 @@ void pinj::failpoint::hit(const char *Name) {
 }
 
 void pinj::failpoint::activate(const std::string &Name) {
-  registry().Active.insert(Name);
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Active.insert(Name);
+  R.ActiveCount.store(R.Active.size(), std::memory_order_relaxed);
 }
 
 void pinj::failpoint::deactivate(const std::string &Name) {
-  registry().Active.erase(Name);
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Active.erase(Name);
+  R.ActiveCount.store(R.Active.size(), std::memory_order_relaxed);
 }
 
-void pinj::failpoint::clearAll() { registry().Active.clear(); }
+void pinj::failpoint::clearAll() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Active.clear();
+  R.ActiveCount.store(0, std::memory_order_relaxed);
+}

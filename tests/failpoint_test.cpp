@@ -4,11 +4,17 @@
 // asserts the fault-tolerance contract: runOperator never crashes, every
 // configuration still carries a dependence-respecting schedule, and the
 // degradation is recorded on the report (and in the sidecar record).
+// The service.* sites fire at the compilation daemon's own boundaries
+// rather than inside the pipeline, so they get their own sweep: each
+// must surface as exactly one attributed terminal response.
 //
 //===----------------------------------------------------------------------===//
 
 #include "exec/Interpreter.h"
+#include "ir/Printer.h"
+#include "obs/Json.h"
 #include "pipeline/Pipeline.h"
+#include "service/Daemon.h"
 #include "support/FailPoint.h"
 
 #include "TestKernels.h"
@@ -18,6 +24,29 @@
 using namespace pinj;
 
 namespace {
+
+bool isServiceSite(const char *Site) {
+  return std::string(Site).rfind("service.", 0) == 0;
+}
+
+/// The pipeline-stage sites: everything the runOperator degradation
+/// ladder absorbs in-process.
+std::vector<const char *> pipelineSites() {
+  std::vector<const char *> Sites;
+  for (const char *Site : failpoint::allSites())
+    if (!isServiceSite(Site))
+      Sites.push_back(Site);
+  return Sites;
+}
+
+/// The daemon-boundary sites, swept through service::Daemon below.
+std::vector<const char *> serviceSites() {
+  std::vector<const char *> Sites;
+  for (const char *Site : failpoint::allSites())
+    if (isServiceSite(Site))
+      Sites.push_back(Site);
+  return Sites;
+}
 
 /// Exact schedule validity (same oracle as sched_test / fuzz_test).
 bool scheduleRespects(const Kernel &K, const Schedule &S,
@@ -88,8 +117,62 @@ TEST_P(FailPointSweep, PipelineSurvivesAndRecordsDegradation) {
   EXPECT_EQ(Sink.operators()[0].Degradations.size(), R.Degradations.size());
 }
 
-INSTANTIATE_TEST_SUITE_P(AllSites, FailPointSweep,
-                         ::testing::ValuesIn(failpoint::allSites()));
+INSTANTIATE_TEST_SUITE_P(PipelineSites, FailPointSweep,
+                         ::testing::ValuesIn(pipelineSites()));
+
+/// The daemon-boundary contract: with a service.* site active, every
+/// submitted line still gets exactly one terminal response, and (except
+/// for the drain site, which must make progress regardless) that
+/// response is an error attributed to the injected site.
+class DaemonFailPointSweep : public ::testing::TestWithParam<const char *> {
+protected:
+  void TearDown() override { failpoint::clearAll(); }
+};
+
+TEST_P(DaemonFailPointSweep, OneAttributedTerminalResponse) {
+  const char *Site = GetParam();
+  service::DaemonConfig Cfg;
+  Cfg.Sync = true;
+
+  std::vector<std::string> Lines;
+  service::Daemon D(Cfg);
+  D.start([&Lines](const std::string &L) { Lines.push_back(L); });
+
+  std::string Error;
+  std::optional<std::string> Text = printPinj(makeElementwise(6, 6), Error);
+  ASSERT_TRUE(Text.has_value()) << Error;
+  std::string Request =
+      "{\"id\":\"r1\",\"kernel\":\"" + obs::json::escape(*Text) + "\"}";
+
+  failpoint::activate(Site);
+  D.submitLine(Request);
+
+  if (std::string(Site) == "service.drain") {
+    // The drain fail-point fires inside drainAndStop; the compile
+    // itself succeeds, and the faulted drain must still drain cleanly
+    // without producing or dropping responses.
+    ASSERT_EQ(1u, Lines.size());
+    EXPECT_NE(std::string::npos, Lines[0].find("\"status\":\"ok\""))
+        << Lines[0];
+    D.drainAndStop();
+    EXPECT_EQ(1u, Lines.size());
+    EXPECT_TRUE(D.cleanDrain());
+    EXPECT_EQ(1u, D.stats().Responses);
+  } else {
+    ASSERT_EQ(1u, Lines.size());
+    EXPECT_NE(std::string::npos, Lines[0].find("\"status\":\"error\""))
+        << Lines[0];
+    EXPECT_NE(std::string::npos, Lines[0].find(Site))
+        << "response not attributed to " << Site << ": " << Lines[0];
+    EXPECT_EQ(1u, D.stats().FaultResponses);
+    failpoint::clearAll();
+    D.drainAndStop();
+    EXPECT_EQ(1u, Lines.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ServiceSites, DaemonFailPointSweep,
+                         ::testing::ValuesIn(serviceSites()));
 
 TEST(FailPoint, CatalogAndActivationApi) {
   ASSERT_GE(failpoint::allSites().size(), 10u);

@@ -1,0 +1,79 @@
+# Scripted JSONL session against polyinject-serve: mixed cache
+# hits/misses, an expired deadline, a malformed line, an unknown op and
+# a clean shutdown. Run twice (fresh cache directories) in --sync mode;
+# the response bytes must match exactly, every expected status must
+# appear, and both drains must exit 0.
+#
+# Variables: -DTOOL=<polyinject-serve> -DKERNELS=<tools/kernels dir>
+#            -DWORK=<scratch dir>
+
+file(REMOVE_RECURSE "${WORK}")
+file(MAKE_DIRECTORY "${WORK}")
+
+set(RUNNING "${KERNELS}/running_example.pinj")
+set(TRANSPOSE "${KERNELS}/transpose.pinj")
+
+# The session: ping, a cold compile (miss), the same kernel again (hit),
+# an already-expired deadline (shed), a malformed line, a bad op, a
+# second kernel, stats, shutdown.
+file(WRITE "${WORK}/session.jsonl"
+"{\"id\":\"p1\",\"op\":\"ping\"}
+{\"id\":\"k1\",\"kernel_file\":\"${RUNNING}\"}
+{\"id\":\"k2\",\"kernel_file\":\"${RUNNING}\"}
+{\"id\":\"k3\",\"kernel_file\":\"${RUNNING}\",\"deadline_ms\":0}
+this line is not json
+{\"id\":\"k4\",\"op\":\"frobnicate\"}
+{\"id\":\"k5\",\"kernel_file\":\"${TRANSPOSE}\"}
+{\"id\":\"s1\",\"op\":\"stats\"}
+{\"id\":\"q1\",\"op\":\"shutdown\"}
+")
+
+foreach(RUN 1 2)
+  execute_process(
+    COMMAND ${TOOL} --sync --workers=1
+            --cache-dir=${WORK}/cache${RUN}
+    INPUT_FILE "${WORK}/session.jsonl"
+    OUTPUT_FILE "${WORK}/out${RUN}.jsonl"
+    ERROR_FILE "${WORK}/err${RUN}.txt"
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    file(READ "${WORK}/err${RUN}.txt" ERR)
+    message(FATAL_ERROR "serve run ${RUN} failed (exit ${RC}):\n${ERR}")
+  endif()
+endforeach()
+
+file(READ "${WORK}/out1.jsonl" OUT1)
+file(READ "${WORK}/out2.jsonl" OUT2)
+
+if(NOT OUT1 STREQUAL OUT2)
+  message(FATAL_ERROR
+    "serve responses are not byte-stable across runs:\n"
+    "--- run 1 ---\n${OUT1}\n--- run 2 ---\n${OUT2}")
+endif()
+
+# One response line per request line.
+string(REGEX MATCHALL "\n" RESPONSE_NEWLINES "${OUT1}")
+list(LENGTH RESPONSE_NEWLINES RESPONSE_COUNT)
+if(NOT RESPONSE_COUNT EQUAL 9)
+  message(FATAL_ERROR
+    "expected 9 response lines, got ${RESPONSE_COUNT}:\n${OUT1}")
+endif()
+
+# Each request reached its expected terminal status.
+foreach(PATTERN
+    "\"id\":\"p1\".*\"status\":\"pong\""
+    "\"id\":\"k1\".*\"status\":\"ok\".*\"cache\":\"miss\""
+    "\"id\":\"k2\".*\"status\":\"ok\".*\"cache\":\"hit\""
+    "\"id\":\"k3\".*\"status\":\"shed\".*\"reason\":\"deadline_expired\".*\"retry_after_ms\":[1-9]"
+    "\"line\":5,\"status\":\"error\".*malformed"
+    "\"id\":\"k4\".*\"status\":\"error\".*unknown op"
+    "\"id\":\"k5\".*\"status\":\"ok\""
+    "\"id\":\"s1\".*\"status\":\"stats\".*\"admitted\":3"
+    "\"id\":\"q1\".*\"status\":\"bye\"")
+  if(NOT OUT1 MATCHES "${PATTERN}")
+    message(FATAL_ERROR
+      "response missing expected pattern '${PATTERN}':\n${OUT1}")
+  endif()
+endforeach()
+
+message(STATUS "serve protocol: 9 byte-stable responses, clean drain")

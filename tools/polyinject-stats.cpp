@@ -29,8 +29,11 @@
 // The summary reports per-stage latency percentiles (p50/p90/p99 from
 // the journal's stage_end events, estimated with the same quarter-octave
 // histogram scheme the process metrics use), cache and tuning hit rates,
-// degradation causes, and branch-and-bound effort grouped by operator
-// family (operator name with trailing size/variant tokens stripped).
+// degradation causes, daemon admission-control activity (admit/shed/
+// drain/quarantine events from polyinject-serve, with shed reasons and
+// the positive-retry_after_ms contract validated), and branch-and-bound
+// effort grouped by operator family (operator name with trailing
+// size/variant tokens stripped).
 //
 // Two identical runs always diff clean: journal timestamps differ, but
 // every compared quantity is either a deterministic counter (exact
@@ -86,6 +89,14 @@ struct JournalStats {
   std::size_t TuningEvents = 0;
   std::size_t TuningApplied = 0;
   std::size_t Degradations = 0;
+
+  // Daemon admission-control events (service/Daemon.h).
+  std::size_t Admits = 0;
+  std::size_t Sheds = 0;
+  std::size_t Drains = 0;
+  std::size_t Quarantines = 0;
+  /// Shed reason ("deadline_expired", ...) -> occurrences.
+  std::map<std::string, std::size_t> ShedReasons;
 
   /// All request ids seen on any record.
   std::set<std::string> Ids;
@@ -186,7 +197,11 @@ bool loadJournal(const std::string &Path, JournalStats &Stats) {
     const std::string &Type = TypeV->Str;
 
     std::string Rid = stringField(*Rec, "request_id");
-    bool BatchEvent = Type.rfind("batch_", 0) == 0;
+    // Process-scoped events legitimately carry no request id: batch
+    // lifecycle markers, daemon drains, and quarantines found by the
+    // startup sweep (no request exists yet).
+    bool BatchEvent = Type.rfind("batch_", 0) == 0 || Type == "drain" ||
+                      Type == "quarantine";
     if (Rid.empty() && !BatchEvent)
       Violation("missing request_id on '" + Type + "' record");
     if (!Rid.empty())
@@ -234,6 +249,28 @@ bool loadJournal(const std::string &Path, JournalStats &Stats) {
                           stringField(*Rec, "code") + " at " +
                           stringField(*Rec, "site");
       ++Stats.DegradationCauses[Cause];
+    } else if (Type == "admit") {
+      ++Stats.Admits;
+    } else if (Type == "shed") {
+      ++Stats.Sheds;
+      std::string Reason = stringField(*Rec, "reason");
+      if (Reason.empty())
+        Violation("shed without reason");
+      else
+        ++Stats.ShedReasons[Reason];
+      // The shedding contract: a shed response always carries a
+      // positive backoff hint.
+      if (numberField(*Rec, "retry_after_ms") <= 0)
+        Violation("shed with non-positive retry_after_ms");
+    } else if (Type == "drain") {
+      ++Stats.Drains;
+      const obs::json::Value *Clean = Rec->find("clean");
+      if (!Clean || !Clean->isBool())
+        Violation("drain without clean flag");
+    } else if (Type == "quarantine") {
+      ++Stats.Quarantines;
+      if (stringField(*Rec, "file").empty())
+        Violation("quarantine without file");
     }
   }
 
@@ -370,6 +407,15 @@ void printSummary(const JournalStats &Stats) {
                 100.0 * static_cast<double>(Stats.TuningApplied) /
                     static_cast<double>(Stats.TuningEvents));
 
+  if (Stats.Admits || Stats.Sheds || Stats.Drains || Stats.Quarantines) {
+    std::printf("service: %zu admitted, %zu shed, %zu drain(s), "
+                "%zu quarantined\n",
+                Stats.Admits, Stats.Sheds, Stats.Drains,
+                Stats.Quarantines);
+    for (const auto &[Reason, N] : Stats.ShedReasons)
+      std::printf("  shed %zux %s\n", N, Reason.c_str());
+  }
+
   if (!Stats.StageDur.empty()) {
     std::printf("stage latency (us):\n");
     std::printf("  %-10s %8s %10s %10s %10s %12s\n", "stage", "count",
@@ -420,6 +466,9 @@ std::size_t diffStats(const JournalStats &A, const JournalStats &B,
   CompareCounter("requests", A.Requests, B.Requests);
   CompareCounter("cache_hits", A.CacheHits, B.CacheHits);
   CompareCounter("degradations", A.Degradations, B.Degradations);
+  CompareCounter("admitted", A.Admits, B.Admits);
+  CompareCounter("shed", A.Sheds, B.Sheds);
+  CompareCounter("quarantined", A.Quarantines, B.Quarantines);
 
   std::uint64_t NodesA = 0, NodesB = 0, PivotsA = 0, PivotsB = 0;
   for (const auto &[Family, F] : A.Families) {
