@@ -1,0 +1,82 @@
+//===- model/Features.h - Cost-model feature extraction ---------*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The learned cost model's input: a fixed-width feature vector
+/// extracted from a kernel's IR plus one candidate set of pipeline
+/// options. Kernel-side slots summarize what the non-linear optimizer
+/// sees (per-statement access strides under the row-major layout,
+/// reuse proxies, domain sizes, broadcast/reduction structure);
+/// option-side slots are the same knobs the tuning search space varies
+/// (vector-width cap, thread budgets, scenario limits, solver-budget
+/// tiers). The schema is versioned: names and order are hashed into
+/// featureSchemaHash(), which datasets and model files record so a
+/// model trained under one schema is never applied under another
+/// (the same staleness discipline as tune.db_rejects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_MODEL_FEATURES_H
+#define POLYINJECT_MODEL_FEATURES_H
+
+#include "pipeline/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace pinj {
+namespace model {
+
+/// One feature vector: exactly featureCount() doubles, in the order of
+/// featureNames().
+using FeatureVector = std::vector<double>;
+
+/// The schema: stable feature names, kernel-side slots first, then the
+/// option-side slots (the tuning knobs).
+const std::vector<std::string> &featureNames();
+
+/// Number of slots in every FeatureVector of the current schema.
+std::size_t featureCount();
+
+/// Index of the first option-side slot (everything before it depends
+/// only on the kernel, everything from it on only on the options).
+std::size_t firstOptionFeature();
+
+/// 32-hex hash over the schema version, feature names and order.
+/// Datasets and model files record it; a mismatch marks them stale.
+const std::string &featureSchemaHash();
+
+/// Extracts the full feature vector for compiling \p K under \p O.
+/// Kernels with symbolic parameters have no concrete strides; their
+/// kernel-side access slots are zero.
+FeatureVector extractFeatures(const Kernel &K, const PipelineOptions &O);
+
+/// Overwrites only the option-side slots of \p X (which must have come
+/// from extractFeatures on the same kernel). The surrogate strategy
+/// scores thousands of candidates per kernel; this skips re-deriving
+/// the kernel-side slots each time.
+void writeOptionFeatures(const PipelineOptions &O, FeatureVector &X);
+
+/// Canonical text serialization: all values space-separated with
+/// "%.17g" (round-trips every double bit-exactly).
+std::string serializeFeatures(const FeatureVector &X);
+
+/// Parses serializeFeatures() output. \returns false on any mismatch
+/// with the current schema width or a malformed number.
+bool parseFeatures(const std::string &Text, FeatureVector &Out);
+
+/// The regression target the model is trained on: log2(1 + TimeUs).
+/// Simulated times span several orders of magnitude across the corpus;
+/// the log keeps the squared-error fit from being dominated by the
+/// slowest operators while staying strictly monotone (ranking by
+/// target ranks by time).
+double regressionTarget(double TimeUs);
+
+} // namespace model
+} // namespace pinj
+
+#endif // POLYINJECT_MODEL_FEATURES_H

@@ -1,0 +1,113 @@
+//===- model/GbStumps.h - Gradient-boosted-stumps regressor -----*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The learned cost model itself: gradient boosting over depth-1
+/// regression trees (stumps) under squared loss, in plain C++ with no
+/// dependencies. Each round greedily picks the (feature, threshold)
+/// split that removes the most residual squared error — features in
+/// index order, thresholds at midpoints of consecutive sorted unique
+/// values, ties broken toward the lower feature index then the lower
+/// threshold — so training is bit-deterministic for a given dataset and
+/// config. Model files are versioned and carry the feature-schema hash;
+/// a model trained under a different schema is rejected on load and
+/// counted in model.rejects, the same staleness discipline as
+/// tune.db_rejects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_MODEL_GBSTUMPS_H
+#define POLYINJECT_MODEL_GBSTUMPS_H
+
+#include "model/Features.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinj {
+namespace model {
+
+/// One boosting round: predicts Left when X[Feature] <= Threshold,
+/// else Right (both already scaled by the shrinkage).
+struct Stump {
+  unsigned Feature = 0;
+  double Threshold = 0;
+  double Left = 0;
+  double Right = 0;
+};
+
+/// Training tunables. Defaults fit the tuning-corpus scale (a few
+/// thousand samples, ~28 features) in well under a second.
+struct TrainConfig {
+  /// Boosting rounds; training stops early once the residual error
+  /// stops improving (no splittable feature remains).
+  unsigned Rounds = 400;
+  /// Learning rate applied to every stump's leaf values.
+  double Shrinkage = 0.1;
+  /// Seed for the row-subsampling draw. With SubsampleNum ==
+  /// SubsampleDen (the default) no randomness is consumed and the seed
+  /// only lands in the model file's metadata.
+  std::uint64_t Seed = 1;
+  /// Stochastic-boosting row fraction as a rational Num/Den; each round
+  /// fits on a deterministic xorshift64 draw of that fraction. The
+  /// default 1/1 uses every row every round.
+  unsigned SubsampleNum = 1;
+  unsigned SubsampleDen = 1;
+};
+
+/// A trained model. predict() is pure w.r.t. the model (thread-safe to
+/// share const across evaluator workers) and counts model.predictions.
+struct GbStumpsModel {
+  /// featureSchemaHash() at training time; enforced on load and on
+  /// predict (an assert — callers obtain vectors via extractFeatures,
+  /// so a width mismatch is a programming error, not data damage).
+  std::string SchemaHash;
+  /// Base score: the training-set target mean.
+  double Base = 0;
+  TrainConfig Config;
+  std::vector<Stump> Stumps;
+
+  bool empty() const { return Stumps.empty() && Base == 0; }
+
+  /// Predicted regression target (log2 time; see regressionTarget) for
+  /// one feature vector.
+  double predict(const FeatureVector &X) const;
+};
+
+/// Trains on \p X (one FeatureVector per sample, all featureCount()
+/// wide) against targets \p Y. Deterministic: same inputs and config
+/// give a bit-identical model.
+GbStumpsModel trainGbStumps(const std::vector<FeatureVector> &X,
+                            const std::vector<double> &Y,
+                            const TrainConfig &Config = TrainConfig());
+
+/// Canonical text form of a model (versioned header, schema hash,
+/// %.17g leaf values — serialize/parse round-trips bit-exactly).
+std::string serializeModel(const GbStumpsModel &M);
+
+/// Strict parse of serializeModel() output. \returns false (with a
+/// diagnostic in \p Err if non-null) on version/schema mismatch or any
+/// malformed line; rejections count model.rejects.
+bool parseModel(const std::string &Text, GbStumpsModel &Out,
+                std::string *Err = nullptr);
+
+/// Writes \p M to \p Path via tmp-file + rename (readers never see a
+/// torn model). \returns false with \p Err set on I/O failure.
+bool saveModel(const GbStumpsModel &M, const std::string &Path,
+               std::string *Err = nullptr);
+
+/// Loads and validates a model file. Missing file, version bump and
+/// schema-hash mismatch all \return false (the latter two counted in
+/// model.rejects).
+bool loadModel(const std::string &Path, GbStumpsModel &Out,
+               std::string *Err = nullptr);
+
+} // namespace model
+} // namespace pinj
+
+#endif // POLYINJECT_MODEL_GBSTUMPS_H

@@ -8,9 +8,10 @@
 /// \file
 /// The structured event journal: an append-only stream of small typed
 /// records ("solve finished", "dimension accepted", "cache hit",
-/// "degradation taken") that explains *why* a compilation came out the
-/// way it did, where the tracer only shows *where time went* and the
-/// metrics registry only shows *how much in total*.
+/// "degradation taken", "surrogate ranked the space") that explains
+/// *why* a compilation came out the way it did, where the tracer only
+/// shows *where time went* and the metrics registry only shows *how
+/// much in total*.
 ///
 /// Every record carries a stable request id. The id is generated once
 /// per operator compilation — at `runOperator` entry, or earlier by the

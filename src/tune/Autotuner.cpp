@@ -13,7 +13,10 @@ using namespace pinj::tune;
 Autotuner::Autotuner(Config Cfg) : Cfg(std::move(Cfg)) {
   if (this->Cfg.Space.empty())
     this->Cfg.Space = defaultSearchSpace();
-  Strat = makeStrategy(this->Cfg.Strategy);
+  if (this->Cfg.Strategy == "surrogate")
+    Strat = makeSurrogateStrategy(this->Cfg.Model, this->Cfg.TopK);
+  else
+    Strat = makeStrategy(this->Cfg.Strategy);
   if (!Strat) {
     this->Cfg.Strategy = "greedy";
     Strat = makeStrategy("greedy");

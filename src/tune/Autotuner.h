@@ -29,8 +29,9 @@ namespace tune {
 class Autotuner final : public TuningHook {
 public:
   struct Config {
-    /// Strategy name ("exhaustive", "greedy", "anneal"); unknown names
-    /// fall back to greedy.
+    /// Strategy name ("exhaustive", "greedy", "anneal", or "surrogate"
+    /// when Model is set); unknown names — and "surrogate" without a
+    /// model — fall back to greedy.
     std::string Strategy = "greedy";
     /// Seed for stochastic strategies (--tune-seed).
     std::uint64_t Seed = 1;
@@ -48,6 +49,14 @@ public:
     /// Optional persistent store; not owned. May be shared by
     /// concurrent Autotuners (TuningDb is thread-safe).
     TuningDb *Db = nullptr;
+    /// The trained cost model for Strategy == "surrogate"
+    /// (model/GbStumps.h, loaded via loadModel). Shared because
+    /// prediction is const and the batch compiler's workers tune
+    /// concurrently.
+    std::shared_ptr<const model::GbStumpsModel> Model;
+    /// Candidates the surrogate strategy gpusim-evaluates per operator
+    /// (--tune-topk); ignored by the other strategies.
+    std::size_t TopK = 8;
   };
 
   explicit Autotuner(Config Cfg);

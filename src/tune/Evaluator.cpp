@@ -97,19 +97,27 @@ std::vector<double> Evaluator::evaluate(const std::vector<Candidate> &Batch) {
   static obs::Counter &Evaluated = obs::metrics().counter("tune.evaluations");
   static obs::Counter &Failures =
       obs::metrics().counter("tune.candidate_failures");
+  static obs::Counter &Denials =
+      obs::metrics().counter("tune.budget_denials");
 
   std::vector<double> Out(Batch.size(), failedScore());
 
   // Collect the unique, uncached candidates in batch order, up to the
-  // remaining evaluation budget; everything else resolves from the memo
-  // or stays failedScore().
+  // remaining evaluation budget; everything else resolves from the
+  // memo. Candidates past the budget are memoized as failures right
+  // here: the budget only ever shrinks, so this evaluator can never
+  // score them, and recording that keeps revisits (greedy/anneal
+  // neighbors) from re-asking every call.
   std::vector<Candidate> Fresh;
   std::map<Candidate, std::size_t> FreshIndex;
   for (const Candidate &C : Batch) {
     if (Memo.count(C) || FreshIndex.count(C))
       continue;
-    if (Fresh.size() >= remaining())
-      break;
+    if (Fresh.size() >= remaining()) {
+      Memo.emplace(C, failedScore());
+      Denials.inc();
+      continue;
+    }
     FreshIndex.emplace(C, Fresh.size());
     Fresh.push_back(C);
   }

@@ -58,15 +58,19 @@ public:
   Evaluator(const Kernel &K, const PipelineOptions &Base,
             const SearchSpace &Space, Config Cfg);
 
+  const Kernel &kernel() const { return K; }
   const PipelineOptions &base() const { return Base; }
   unsigned jobs() const { return Cfg.Jobs; }
 
   /// The score of the unmodified base options (memoized).
   double baseline();
 
-  /// Scores for each candidate of \p Batch, memoized across calls.
-  /// Candidates beyond the remaining evaluation budget score
-  /// failedScore() without being evaluated (and stay unmemoized).
+  /// Scores for each candidate of \p Batch, memoized across calls —
+  /// failures included, so a failing candidate never re-pays its
+  /// gpusim run when a hill-climbing strategy revisits it. Candidates
+  /// beyond the remaining evaluation budget score failedScore()
+  /// without being evaluated; since the budget only ever shrinks they
+  /// are memoized as failures too (counted on tune.budget_denials).
   std::vector<double> evaluate(const std::vector<Candidate> &Batch);
 
   /// Unique candidate evaluations performed so far.

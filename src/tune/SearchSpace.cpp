@@ -100,12 +100,15 @@ bool SearchSpace::decode(const std::string &Text, Candidate &Out) const {
     if (It == Vals.end())
       return false;
     C[I] = static_cast<unsigned>(It - Vals.begin());
+    // The last segment must run to the end of the text: a ',' after it
+    // means trailing segments (a wider space wrote this) or a bare
+    // trailing comma, both malformed.
+    if (I + 1 == Dims.size() && End != Text.size())
+      return false;
     Pos = End == Text.size() ? End : End + 1;
     if (I + 1 < Dims.size() && Pos >= Text.size())
       return false;
   }
-  if (Pos != Text.size())
-    return false; // Trailing segments: a wider space wrote this.
   Out = std::move(C);
   return true;
 }

@@ -2,6 +2,11 @@
 
 #include "tune/Strategy.h"
 
+#include "model/Features.h"
+#include "model/GbStumps.h"
+#include "obs/Journal.h"
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -155,6 +160,75 @@ public:
   }
 };
 
+/// The learned-cost-model search (see makeSurrogateStrategy). Ranking
+/// the whole space costs one model inference per candidate — three
+/// orders of magnitude cheaper than a gpusim evaluation — so the full
+/// default space is always ranked regardless of the evaluation budget.
+class SurrogateStrategy final : public Strategy {
+public:
+  SurrogateStrategy(std::shared_ptr<const model::GbStumpsModel> Model,
+                    std::size_t TopK)
+      : Model(std::move(Model)), TopK(TopK ? TopK : 1) {}
+
+  const char *name() const override { return "surrogate"; }
+
+  std::optional<ScoredCandidate> run(const SearchSpace &Space,
+                                     Evaluator &Eval,
+                                     std::uint64_t) const override {
+    static obs::Counter &EvalsSaved =
+        obs::metrics().counter("tune.surrogate_evals_saved");
+    static obs::Counter &Searches =
+        obs::metrics().counter("tune.surrogate_searches");
+    Searches.inc();
+
+    std::size_t Total = Space.size();
+    if (Total == 0)
+      return std::nullopt;
+
+    // Rank every candidate by predicted score. Only the option-side
+    // feature slots change across candidates, so the kernel-side slots
+    // are extracted once and rewritten in place.
+    model::FeatureVector X = model::extractFeatures(Eval.kernel(),
+                                                    Eval.base());
+    std::vector<std::pair<double, std::size_t>> Ranked;
+    Ranked.reserve(Total);
+    PipelineOptions O;
+    for (std::size_t I = 0; I < Total; ++I) {
+      O = Eval.base();
+      Space.apply(Space.candidateAt(I), O);
+      model::writeOptionFeatures(O, X);
+      Ranked.emplace_back(Model->predict(X), I);
+    }
+    // Prediction ties rank by enumeration index (the pair's second),
+    // keeping the selection deterministic across platforms and --jobs.
+    std::size_t Keep = std::min({TopK, Total, Eval.remaining()});
+    if (Keep == 0)
+      return std::nullopt;
+    std::partial_sort(Ranked.begin(), Ranked.begin() + Keep, Ranked.end());
+
+    std::vector<Candidate> Batch;
+    Batch.reserve(Keep);
+    for (std::size_t I = 0; I < Keep; ++I)
+      Batch.push_back(Space.candidateAt(Ranked[I].second));
+
+    std::optional<ScoredCandidate> Best;
+    takeBest(Best, Batch, Eval.evaluate(Batch));
+
+    EvalsSaved.add(Total - Keep);
+    obs::JournalEvent("surrogate")
+        .field("kernel", Eval.kernel().Name)
+        .field("candidates", static_cast<unsigned long long>(Total))
+        .field("topk", static_cast<unsigned long long>(Keep))
+        .field("evals_saved", static_cast<unsigned long long>(Total - Keep))
+        .field("found", bool(Best));
+    return Best;
+  }
+
+private:
+  std::shared_ptr<const model::GbStumpsModel> Model;
+  std::size_t TopK;
+};
+
 } // namespace
 
 std::unique_ptr<Strategy> tune::makeStrategy(const std::string &Name) {
@@ -169,4 +243,11 @@ std::unique_ptr<Strategy> tune::makeStrategy(const std::string &Name) {
 
 std::vector<std::string> tune::strategyNames() {
   return {"exhaustive", "greedy", "anneal"};
+}
+
+std::unique_ptr<Strategy> tune::makeSurrogateStrategy(
+    std::shared_ptr<const model::GbStumpsModel> Model, std::size_t TopK) {
+  if (!Model)
+    return nullptr;
+  return std::make_unique<SurrogateStrategy>(std::move(Model), TopK);
 }

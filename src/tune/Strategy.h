@@ -27,6 +27,11 @@
 #include <vector>
 
 namespace pinj {
+
+namespace model {
+struct GbStumpsModel;
+}
+
 namespace tune {
 
 struct ScoredCandidate {
@@ -57,11 +62,26 @@ public:
 };
 
 /// Resolves "exhaustive", "greedy" or "anneal"; nullptr for anything
-/// else.
+/// else. The surrogate strategy is not constructible by name — it
+/// needs a trained model, so it has its own factory below.
 std::unique_ptr<Strategy> makeStrategy(const std::string &Name);
 
 /// The names makeStrategy accepts, for CLI help and validation.
 std::vector<std::string> strategyNames();
+
+/// The learned-cost-model search: predicts a score for every candidate
+/// in the space with \p Model (model/GbStumps.h), then gpusim-evaluates
+/// only the \p TopK best-predicted ones — the prediction only chooses
+/// *which* candidates the real cost model sees, so the Autotuner's
+/// never-worse-than-baseline guarantee is untouched even under an
+/// arbitrarily wrong model. Deterministic: predictions are analytic and
+/// prediction ties rank by enumeration index. Skipped evaluations are
+/// counted on tune.surrogate_evals_saved and each run emits one
+/// "surrogate" journal event. \p Model must be non-null and trained
+/// under the current feature schema (loadModel enforces the latter).
+std::unique_ptr<Strategy>
+makeSurrogateStrategy(std::shared_ptr<const model::GbStumpsModel> Model,
+                      std::size_t TopK);
 
 } // namespace tune
 } // namespace pinj

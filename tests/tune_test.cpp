@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "pipeline/Pipeline.h"
 #include "service/Fingerprint.h"
 #include "tune/Autotuner.h"
@@ -116,6 +117,38 @@ TEST(SearchSpace, DecodeRejectsForeignEncodings) {
   EXPECT_FALSE(Tiny.decode("baseline", C));
 }
 
+TEST(SearchSpace, DecodeRejectsMalformedNameValueStrings) {
+  SearchSpace Space = tinySearchSpace();
+  Candidate Good;
+  std::string GoodText = Space.encode(Space.candidateAt(1));
+  ASSERT_TRUE(Space.decode(GoodText, Good));
+
+  Candidate C = Good;
+  // Segment without '='.
+  EXPECT_FALSE(Space.decode(
+      "influence.max_vector_width,mapping.max_threads=256", C));
+  // Empty value.
+  EXPECT_FALSE(Space.decode(
+      "influence.max_vector_width=,mapping.max_threads=256", C));
+  // Non-numeric value, and trailing garbage after the number.
+  EXPECT_FALSE(Space.decode(
+      "influence.max_vector_width=two,mapping.max_threads=256", C));
+  EXPECT_FALSE(Space.decode(
+      "influence.max_vector_width=1x,mapping.max_threads=256", C));
+  // Misspelled dimension name.
+  EXPECT_FALSE(Space.decode(
+      "influence.max_vector_widt=1,mapping.max_threads=256", C));
+  // Segments are positional: reordering is not the same encoding.
+  EXPECT_FALSE(Space.decode(
+      "mapping.max_threads=256,influence.max_vector_width=1", C));
+  // Trailing comma / trailing bytes / leading whitespace.
+  EXPECT_FALSE(Space.decode(GoodText + ",", C));
+  EXPECT_FALSE(Space.decode(GoodText + " ", C));
+  EXPECT_FALSE(Space.decode(" " + GoodText, C));
+  // A failed decode never leaves a partial write behind.
+  EXPECT_EQ(C, Good);
+}
+
 TEST(SearchSpace, ApplyChangesOptions) {
   SearchSpace Space = tinySearchSpace();
   Candidate C;
@@ -181,6 +214,59 @@ TEST(Evaluator, MemoizesAndHonorsBudget) {
   EXPECT_EQ(Second[0], failedScore());
   EXPECT_DOUBLE_EQ(Second[1], First[0]);
   EXPECT_EQ(Eval.evaluations(), 2u);
+}
+
+TEST(Evaluator, BudgetDenialsAreMemoizedAndCountedOnce) {
+  Kernel K = makeElementwise(8, 12);
+  PipelineOptions Base;
+  SearchSpace Space = tinySearchSpace();
+  Evaluator::Config Cfg;
+  Cfg.MaxEvaluations = 1;
+  Evaluator Eval(K, Base, Space, Cfg);
+  Candidate C0 = Space.candidateAt(0), C1 = Space.candidateAt(1);
+
+  obs::MetricsSnapshot Before = obs::metrics().snapshot();
+  std::vector<double> First = Eval.evaluate({C0, C1});
+  EXPECT_NE(First[0], failedScore());
+  EXPECT_EQ(First[1], failedScore());
+  obs::MetricsSnapshot D1 = obs::metrics().snapshot().since(Before);
+  EXPECT_EQ(D1.counter("tune.evaluations"), 1u);
+  EXPECT_EQ(D1.counter("tune.budget_denials"), 1u);
+
+  // Revisits resolve from the memo: no new evaluations, and the denied
+  // candidate is not denied (or counted) a second time.
+  std::vector<double> Second = Eval.evaluate({C1, C0, C1});
+  EXPECT_EQ(Second[0], failedScore());
+  EXPECT_DOUBLE_EQ(Second[1], First[0]);
+  EXPECT_EQ(Second[2], failedScore());
+  obs::MetricsSnapshot D2 = obs::metrics().snapshot().since(Before);
+  EXPECT_EQ(D2.counter("tune.evaluations"), 1u);
+  EXPECT_EQ(D2.counter("tune.budget_denials"), 1u);
+  EXPECT_EQ(Eval.evaluations(), 1u);
+}
+
+TEST(Evaluator, EvaluatedFailuresAreMemoizedAndCountedOnce) {
+  Kernel K = makeRunningExample(8);
+  PipelineOptions Base;
+  SearchSpace Space = tinySearchSpace();
+  Evaluator::Config Cfg;
+  // A one-pivot solver budget trips on any real kernel, so every
+  // candidate fails to evaluate — the interesting case: the failure
+  // must be paid for (and counted) exactly once.
+  Cfg.CandidateBudget = SolverBudget{/*MaxPivots=*/1, /*MaxIlpNodes=*/1,
+                                     /*WallMs=*/0};
+  Evaluator Eval(K, Base, Space, Cfg);
+  Candidate C0 = Space.candidateAt(0);
+
+  obs::MetricsSnapshot Before = obs::metrics().snapshot();
+  EXPECT_EQ(Eval.evaluate({C0})[0], failedScore());
+  EXPECT_EQ(Eval.evaluate({C0})[0], failedScore());
+  EXPECT_EQ(Eval.evaluate({C0, C0})[1], failedScore());
+  obs::MetricsSnapshot D = obs::metrics().snapshot().since(Before);
+  EXPECT_EQ(D.counter("tune.evaluations"), 1u);
+  EXPECT_EQ(D.counter("tune.candidate_failures"), 1u);
+  EXPECT_EQ(D.counter("tune.budget_denials"), 0u);
+  EXPECT_EQ(Eval.evaluations(), 1u);
 }
 
 TEST(Evaluator, ScoresIndependentOfWorkerCount) {
@@ -358,6 +444,29 @@ TEST(TuningDb, VersionBumpRejectsWholeFile) {
   TuningDb Db(Path);
   EXPECT_EQ(Db.size(), 0u);
   EXPECT_EQ(Db.stats().Rejects, 1u);
+}
+
+TEST(TuningDb, VersionBumpCountsGlobalRejects) {
+  auto Dir = freshDir("tunedb-version-counter");
+  std::string Path = (Dir / "tune.db").string();
+  SearchSpace Space = tinySearchSpace();
+  {
+    TuningDb Db(Path);
+    Db.store(keyOf(2, 2), entryFor(Space, "baseline", 1.0));
+  }
+  std::string Bytes = slurp(Path);
+  size_t At = Bytes.find("v1");
+  ASSERT_NE(At, std::string::npos);
+  Bytes.replace(At, 2, "v9");
+  std::ofstream(Path, std::ios::binary | std::ios::trunc) << Bytes;
+
+  // The fleet-visible counter moves with the per-instance stat: one
+  // reject on reload, nothing recoverable behind it.
+  obs::MetricsSnapshot Before = obs::metrics().snapshot();
+  TuningDb Db(Path);
+  obs::MetricsSnapshot D = obs::metrics().snapshot().since(Before);
+  EXPECT_EQ(Db.size(), 0u);
+  EXPECT_EQ(D.counter("tune.db_rejects"), 1u);
 }
 
 TEST(TuningDb, CorruptEntriesAreSkippedNotFatal) {

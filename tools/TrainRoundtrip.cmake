@@ -1,0 +1,110 @@
+# Exercises the offline trainer end to end on a synthetic tuning
+# database:
+#
+#   1. polyinject-opt autotunes three kernels into a fresh tuning db
+#      (the "history" the trainer replays).
+#   2. polyinject-train builds a dataset from those kernels + db and
+#      trains model A.
+#   3. A second training run from the *saved dataset* must produce a
+#      byte-identical model file B (training is deterministic and the
+#      dataset round-trips %.17g exactly).
+#   4. Prediction probes (--eval-model) of A and B over the dataset
+#      must match byte for byte — reload changes nothing.
+#   5. A copy of A with its feature-schema hash corrupted must be
+#      rejected (non-zero exit): stale models never predict.
+#
+# Expected -D variables: TRAIN (polyinject-train path), OPT
+# (polyinject-opt path), KERNELS (corpus dir), WORK (scratch dir).
+
+foreach(_var TRAIN OPT KERNELS WORK)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "TrainRoundtrip.cmake needs -D${_var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+set(_ops
+    ${KERNELS}/running_example.pinj
+    ${KERNELS}/hostile_copy_a.pinj
+    ${KERNELS}/reduce_tail_a.pinj)
+
+# 1. Synthetic tuning history.
+execute_process(COMMAND ${OPT} --autotune=exhaustive --tune-space=tiny
+                        --tuning-db=${WORK}/tune.db --config=infl
+                        --print=sim ${_ops}
+                OUTPUT_QUIET ERROR_VARIABLE _seed_err
+                RESULT_VARIABLE _seed_rc)
+if(NOT _seed_rc EQUAL 0)
+  message(FATAL_ERROR "seeding tuning db failed (${_seed_rc}):\n${_seed_err}")
+endif()
+
+# 2. Build dataset + train model A.
+execute_process(COMMAND ${TRAIN} --tune-space=tiny --candidates=4
+                        --rounds=64 --folds=3
+                        --tuning-db=${WORK}/tune.db
+                        --out-dataset=${WORK}/train.pds
+                        --out-model=${WORK}/model_a.pgbm ${_ops}
+                OUTPUT_VARIABLE _train_a ERROR_VARIABLE _train_a_err
+                RESULT_VARIABLE _train_a_rc)
+if(NOT _train_a_rc EQUAL 0)
+  message(FATAL_ERROR "training run A failed (${_train_a_rc}):\n"
+                      "${_train_a_err}")
+endif()
+
+# 3. Retrain from the saved dataset: byte-identical model.
+execute_process(COMMAND ${TRAIN} --tune-space=tiny --rounds=64 --folds=0
+                        --dataset=${WORK}/train.pds
+                        --out-model=${WORK}/model_b.pgbm
+                OUTPUT_QUIET ERROR_VARIABLE _train_b_err
+                RESULT_VARIABLE _train_b_rc)
+if(NOT _train_b_rc EQUAL 0)
+  message(FATAL_ERROR "training run B failed (${_train_b_rc}):\n"
+                      "${_train_b_err}")
+endif()
+
+file(READ ${WORK}/model_a.pgbm _model_a)
+file(READ ${WORK}/model_b.pgbm _model_b)
+if(NOT _model_a STREQUAL _model_b)
+  message(FATAL_ERROR "retraining from the saved dataset changed the model")
+endif()
+
+# 4. Prediction probes agree between the fresh and reloaded model.
+execute_process(COMMAND ${TRAIN} --eval-model=${WORK}/model_a.pgbm
+                        --dataset=${WORK}/train.pds
+                OUTPUT_VARIABLE _pred_a ERROR_VARIABLE _pred_a_err
+                RESULT_VARIABLE _pred_a_rc)
+execute_process(COMMAND ${TRAIN} --eval-model=${WORK}/model_b.pgbm
+                        --dataset=${WORK}/train.pds
+                OUTPUT_VARIABLE _pred_b ERROR_VARIABLE _pred_b_err
+                RESULT_VARIABLE _pred_b_rc)
+if(NOT _pred_a_rc EQUAL 0 OR NOT _pred_b_rc EQUAL 0)
+  message(FATAL_ERROR "prediction probe failed:\n${_pred_a_err}"
+                      "${_pred_b_err}")
+endif()
+if(_pred_a STREQUAL "")
+  message(FATAL_ERROR "prediction probe printed nothing")
+endif()
+if(NOT _pred_a STREQUAL _pred_b)
+  message(FATAL_ERROR "reloaded model predicts differently")
+endif()
+
+# 5. A stale feature schema must be rejected, not predicted with.
+file(READ ${WORK}/model_a.pgbm _model_text)
+string(REGEX REPLACE "schema [0-9a-f]+"
+       "schema 00000000000000000000000000000000" _stale "${_model_text}")
+file(WRITE ${WORK}/model_stale.pgbm "${_stale}")
+execute_process(COMMAND ${TRAIN} --eval-model=${WORK}/model_stale.pgbm
+                        --dataset=${WORK}/train.pds
+                OUTPUT_QUIET ERROR_VARIABLE _stale_err
+                RESULT_VARIABLE _stale_rc)
+if(_stale_rc EQUAL 0)
+  message(FATAL_ERROR "stale-schema model was accepted")
+endif()
+if(NOT _stale_err MATCHES "schema")
+  message(FATAL_ERROR "stale-schema rejection lacks a diagnostic:\n"
+                      "${_stale_err}")
+endif()
+
+message(STATUS "train roundtrip OK")

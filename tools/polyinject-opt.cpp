@@ -33,7 +33,9 @@
 // Autotuning (tune/Autotuner.h — search pipeline knobs against the
 // simulated cost model; never selects a config the model scores worse
 // than the default):
-//     --autotune=STRATEGY               exhaustive|greedy|anneal
+//     --autotune=STRATEGY               exhaustive|greedy|anneal|
+//                                       surrogate (surrogate needs
+//                                       --tune-model)
 //     --tune-budget=N                   candidate evaluations per
 //                                       operator (default 64)
 //     --tune-seed=N                     seed for stochastic strategies
@@ -42,6 +44,12 @@
 //     --tuning-db=FILE                  persistent winning-config store;
 //                                       warm runs replay without
 //                                       re-searching
+//     --tune-model=FILE                 trained cost model
+//                                       (polyinject-train) for the
+//                                       surrogate strategy
+//     --tune-topk=N                     candidates the surrogate
+//                                       gpusim-evaluates per operator
+//                                       (default 8)
 //
 // Compilation service (batch mode — entered when more than one kernel
 // file is given, or --ops-file is used):
@@ -75,6 +83,7 @@
 #include "lp/Budget.h"
 #include "pipeline/Pipeline.h"
 #include "poly/Dependence.h"
+#include "model/GbStumps.h"
 #include "service/BatchCompiler.h"
 #include "service/Cache.h"
 #include "support/Status.h"
@@ -104,8 +113,9 @@ void printUsage(const char *Argv0) {
       "[--trace-json=FILE] [--metrics-json=FILE] [--journal=FILE] "
       "[--metrics-exposition=FILE] [--metrics-interval-ms=N] [--stats] "
       "[--gpu=PRESET] "
-      "[--autotune=exhaustive|greedy|anneal] [--tune-budget=N] "
+      "[--autotune=exhaustive|greedy|anneal|surrogate] [--tune-budget=N] "
       "[--tune-seed=N] [--tune-space=default|tiny] [--tuning-db=FILE] "
+      "[--tune-model=FILE] [--tune-topk=N] "
       "[--jobs=N] [--cache-dir=PATH] [--ops-file=FILE] "
       "kernel.pinj [more.pinj ...]\n",
       Argv0);
@@ -378,6 +388,8 @@ int main(int Argc, char **Argv) {
   std::string TuningDbPath;
   std::uint64_t TuneSeed = 1;
   std::size_t TuneBudget = 64;
+  std::string TuneModelPath;
+  std::size_t TuneTopK = 8;
   unsigned Jobs = 1;
   std::vector<std::string> Paths;
 
@@ -432,6 +444,18 @@ int main(int Argc, char **Argv) {
       TuneSeed = std::strtoull(Arg + 12, nullptr, 10);
     } else if (std::strncmp(Arg, "--tune-space=", 13) == 0) {
       TuneSpaceName = Arg + 13;
+    } else if (std::strncmp(Arg, "--tune-model=", 13) == 0) {
+      TuneModelPath = Arg + 13;
+      if (TuneModelPath.empty()) {
+        std::fprintf(stderr, "error: --tune-model needs a file name\n");
+        return 2;
+      }
+    } else if (std::strncmp(Arg, "--tune-topk=", 12) == 0) {
+      TuneTopK = std::strtoull(Arg + 12, nullptr, 10);
+      if (TuneTopK == 0) {
+        std::fprintf(stderr, "error: --tune-topk needs a positive count\n");
+        return 2;
+      }
     } else if (std::strncmp(Arg, "--tuning-db=", 12) == 0) {
       TuningDbPath = Arg + 12;
       if (TuningDbPath.empty()) {
@@ -535,17 +559,39 @@ int main(int Argc, char **Argv) {
   }
 
   bool BatchMode = Paths.size() > 1 || !OpsFilePath.empty();
+  if (!TuneModelPath.empty() && AutotuneStrategy != "surrogate") {
+    std::fprintf(stderr,
+                 "error: --tune-model requires --autotune=surrogate\n");
+    return 2;
+  }
   std::unique_ptr<tune::TuningDb> Db;
   std::unique_ptr<tune::Autotuner> Tuner;
   if (!AutotuneStrategy.empty()) {
-    if (!tune::makeStrategy(AutotuneStrategy)) {
+    bool Surrogate = AutotuneStrategy == "surrogate";
+    if (!Surrogate && !tune::makeStrategy(AutotuneStrategy)) {
       std::string Known;
       for (const std::string &N : tune::strategyNames())
         Known += (Known.empty() ? "" : ", ") + N;
+      Known += ", surrogate";
       std::fprintf(stderr,
                    "error: unknown --autotune strategy '%s' (known: %s)\n",
                    AutotuneStrategy.c_str(), Known.c_str());
       return 2;
+    }
+    if (Surrogate && TuneModelPath.empty()) {
+      std::fprintf(stderr,
+                   "error: --autotune=surrogate requires --tune-model\n");
+      return 2;
+    }
+    std::shared_ptr<const model::GbStumpsModel> TuneModel;
+    if (Surrogate) {
+      auto Loaded = std::make_shared<model::GbStumpsModel>();
+      std::string ModelError;
+      if (!model::loadModel(TuneModelPath, *Loaded, &ModelError)) {
+        std::fprintf(stderr, "error: %s\n", ModelError.c_str());
+        return 1;
+      }
+      TuneModel = std::move(Loaded);
     }
     tune::SearchSpace Space = tune::searchSpaceByName(TuneSpaceName);
     if (Space.empty()) {
@@ -565,6 +611,8 @@ int main(int Argc, char **Argv) {
     TuneCfg.Jobs = BatchMode ? 1 : Jobs;
     TuneCfg.Space = std::move(Space);
     TuneCfg.Db = Db.get();
+    TuneCfg.Model = std::move(TuneModel);
+    TuneCfg.TopK = TuneTopK;
     Tuner = std::make_unique<tune::Autotuner>(std::move(TuneCfg));
   } else if (!TuningDbPath.empty()) {
     std::fprintf(stderr, "error: --tuning-db requires --autotune\n");

@@ -29,6 +29,9 @@
 // The summary reports per-stage latency percentiles (p50/p90/p99 from
 // the journal's stage_end events, estimated with the same quarter-octave
 // histogram scheme the process metrics use), cache and tuning hit rates,
+// surrogate-search activity (the cost model's "surrogate" events, with
+// candidates-ranked and evaluations-saved totals — the journal-side view
+// of the model.predictions / tune.surrogate_evals_saved counters),
 // degradation causes, daemon admission-control activity (admit/shed/
 // drain/quarantine events from polyinject-serve, with shed reasons and
 // the positive-retry_after_ms contract validated), and branch-and-bound
@@ -89,6 +92,12 @@ struct JournalStats {
   std::size_t TuningEvents = 0;
   std::size_t TuningApplied = 0;
   std::size_t Degradations = 0;
+
+  // Surrogate-guided searches (tune/Strategy.cpp "surrogate" events).
+  std::size_t SurrogateSearches = 0;
+  std::size_t SurrogateFound = 0;
+  std::uint64_t SurrogateCandidates = 0;
+  std::uint64_t SurrogateEvalsSaved = 0;
 
   // Daemon admission-control events (service/Daemon.h).
   std::size_t Admits = 0;
@@ -243,6 +252,19 @@ bool loadJournal(const std::string &Path, JournalStats &Stats) {
       ++Stats.TuningEvents;
       if (boolField(*Rec, "applied"))
         ++Stats.TuningApplied;
+    } else if (Type == "surrogate") {
+      ++Stats.SurrogateSearches;
+      if (boolField(*Rec, "found"))
+        ++Stats.SurrogateFound;
+      double Candidates = numberField(*Rec, "candidates");
+      if (Candidates <= 0)
+        Violation("surrogate without a positive candidates count");
+      Stats.SurrogateCandidates += static_cast<std::uint64_t>(Candidates);
+      Stats.SurrogateEvalsSaved +=
+          static_cast<std::uint64_t>(numberField(*Rec, "evals_saved"));
+      // The strategy contract: it never evaluates more than it ranks.
+      if (numberField(*Rec, "evals_saved") > Candidates)
+        Violation("surrogate saved more evaluations than candidates");
     } else if (Type == "degradation") {
       ++Stats.Degradations;
       std::string Cause = stringField(*Rec, "config") + " " +
@@ -407,6 +429,13 @@ void printSummary(const JournalStats &Stats) {
                 100.0 * static_cast<double>(Stats.TuningApplied) /
                     static_cast<double>(Stats.TuningEvents));
 
+  if (Stats.SurrogateSearches)
+    std::printf("surrogate: %zu searches, %zu improved, %llu candidates "
+                "ranked, %llu evaluations saved\n",
+                Stats.SurrogateSearches, Stats.SurrogateFound,
+                static_cast<unsigned long long>(Stats.SurrogateCandidates),
+                static_cast<unsigned long long>(Stats.SurrogateEvalsSaved));
+
   if (Stats.Admits || Stats.Sheds || Stats.Drains || Stats.Quarantines) {
     std::printf("service: %zu admitted, %zu shed, %zu drain(s), "
                 "%zu quarantined\n",
@@ -466,6 +495,11 @@ std::size_t diffStats(const JournalStats &A, const JournalStats &B,
   CompareCounter("requests", A.Requests, B.Requests);
   CompareCounter("cache_hits", A.CacheHits, B.CacheHits);
   CompareCounter("degradations", A.Degradations, B.Degradations);
+  CompareCounter("surrogate_searches", A.SurrogateSearches,
+                 B.SurrogateSearches);
+  CompareCounter("surrogate_evals_saved",
+                 static_cast<std::size_t>(A.SurrogateEvalsSaved),
+                 static_cast<std::size_t>(B.SurrogateEvalsSaved));
   CompareCounter("admitted", A.Admits, B.Admits);
   CompareCounter("shed", A.Sheds, B.Sheds);
   CompareCounter("quarantined", A.Quarantines, B.Quarantines);
