@@ -5,6 +5,7 @@
 #include "support/FailPoint.h"
 
 #include "influence/AccessAnalysis.h"
+#include "target/GpuAnalyticTarget.h"
 
 #include <algorithm>
 
@@ -118,6 +119,30 @@ TvmProxyResult pinj::simulateTvmProxy(const Kernel &K, const GpuModel &Model,
                      std::max(Sim.MemTimeUs, Sim.ComputeTimeUs);
       }
     }
+    Result.TimeUs += Sim.TimeUs;
+    ++Result.Launches;
+    Result.Aggregate.Transactions += Sim.Transactions;
+    Result.Aggregate.TransactionBytes += Sim.TransactionBytes;
+    Result.Aggregate.UsefulBytes += Sim.UsefulBytes;
+    Result.Aggregate.MemInstructions += Sim.MemInstructions;
+    Result.Aggregate.ComputeInstructions += Sim.ComputeInstructions;
+    Result.Aggregate.TimeUs += Sim.TimeUs;
+  }
+  return Result;
+}
+
+TvmProxyResult pinj::simulateTvmProxy(const Kernel &K,
+                                      const target::TargetModel &T,
+                                      const GpuMappingOptions &Mapping) {
+  if (const auto *G = dynamic_cast<const target::GpuAnalyticTarget *>(&T))
+    return simulateTvmProxy(K, G->model(), Mapping);
+  failpoint::hit("baselines.tvm");
+  TvmProxyResult Result;
+  for (unsigned Stmt = 0, E = K.Stmts.size(); Stmt != E; ++Stmt) {
+    Kernel Sub = extractStatement(K, Stmt);
+    Schedule Sched = buildTvmSchedule(Sub);
+    MappedKernel M = mapToGpu(Sub, Sched, Mapping);
+    KernelSim Sim = T.simulate(M);
     Result.TimeUs += Sim.TimeUs;
     ++Result.Launches;
     Result.Aggregate.Transactions += Sim.Transactions;

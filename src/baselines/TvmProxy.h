@@ -24,6 +24,10 @@
 
 namespace pinj {
 
+namespace target {
+class TargetModel;
+}
+
 /// Result of simulating one operator under the TVM proxy.
 struct TvmProxyResult {
   double TimeUs = 0;          ///< Total over all per-statement launches.
@@ -40,6 +44,15 @@ Schedule buildTvmSchedule(const Kernel &SubKernel);
 
 /// Simulates \p K under the TVM proxy (one launch per statement).
 TvmProxyResult simulateTvmProxy(const Kernel &K, const GpuModel &Model,
+                                const GpuMappingOptions &Mapping);
+
+/// The target-backend form. A GPU-analytic target delegates to the
+/// GpuModel overload above (bit-identical, including the shared-memory
+/// tile rewrite for uncoalesced transposes); any other backend scores
+/// the per-statement launches directly — the tile rewrite is a CUDA
+/// shared-memory idiom and does not transfer.
+TvmProxyResult simulateTvmProxy(const Kernel &K,
+                                const target::TargetModel &T,
                                 const GpuMappingOptions &Mapping);
 
 } // namespace pinj

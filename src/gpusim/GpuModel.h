@@ -95,7 +95,64 @@ std::optional<GpuModel> gpuModelPreset(const std::string &Name);
 /// diagnostics).
 std::vector<std::string> gpuModelPresetNames();
 
-/// Simulates one mapped kernel on \p Model.
+/// The transaction-model half of a backend target (see src/target/): how
+/// many lanes issue memory accesses together, the machine's transaction
+/// granularity, and how one lane group's accesses coalesce into
+/// transactions. The lane walk in WarpSimulator.cpp is generic over this
+/// interface; the GPU plugs in 32-lane warps over 32-byte sectors, the
+/// CPU-SIMD target 16-lane vectors over 64-byte cache lines.
+class TransactionModel {
+public:
+  virtual ~TransactionModel() = default;
+  /// Lanes that issue one memory request together (warp size / SIMD
+  /// width). Also the granularity of the per-thread work decomposition.
+  virtual unsigned laneCount() const = 0;
+  /// Bytes moved per transaction (sector / cache line).
+  virtual unsigned transactionBytes() const = 0;
+  /// Transactions needed to serve one lane group's accesses
+  /// ((byte address, size) pairs).
+  virtual double
+  transactionsFor(const std::vector<std::pair<Int, unsigned>> &Accesses)
+      const = 0;
+};
+
+/// Distinct-aligned-blocks coalescing: the transaction count is the
+/// number of distinct TransactionBytes-aligned blocks the group touches
+/// (GPU sectors and CPU cache lines both behave this way; they differ in
+/// lane count and granularity).
+class SectorTransactionModel : public TransactionModel {
+public:
+  SectorTransactionModel(unsigned Lanes, unsigned Bytes)
+      : Lanes(Lanes), Bytes(Bytes) {}
+  unsigned laneCount() const override { return Lanes; }
+  unsigned transactionBytes() const override { return Bytes; }
+  double transactionsFor(const std::vector<std::pair<Int, unsigned>>
+                             &Accesses) const override;
+
+private:
+  unsigned Lanes;
+  unsigned Bytes;
+};
+
+/// Walks every statement of \p M and accumulates the transaction-model
+/// counters: Transactions, TransactionBytes, UsefulBytes,
+/// MemInstructions, ComputeInstructions and Warps. The time fields are
+/// left zero — a time model (finishGpuTime, or a target's finishTime)
+/// turns counters into microseconds. Counters are independent of every
+/// time-model constant, which is what makes calibration cheap: the
+/// calibrator accumulates each table row once and re-applies candidate
+/// time parameters to the fixed counters.
+KernelSim accumulateTransactions(const MappedKernel &M,
+                                 const TransactionModel &Tx);
+
+/// The GPU analytic time model applied to accumulated counters:
+/// bandwidth-saturation efficiency from warps in flight, memory vs
+/// compute overlap (max), plus launch overhead.
+KernelSim finishGpuTime(KernelSim Counters, const GpuModel &Model);
+
+/// Simulates one mapped kernel on \p Model. Exactly
+/// finishGpuTime(accumulateTransactions(M, <WarpSize/SectorBytes>), Model)
+/// plus the gpusim trace span and metrics.
 KernelSim simulateKernel(const MappedKernel &M, const GpuModel &Model);
 
 /// Counts the 32-byte sectors touched by a set of per-lane byte accesses

@@ -26,6 +26,11 @@ unsigned pinj::countSectors(
   return Sectors.size();
 }
 
+double pinj::SectorTransactionModel::transactionsFor(
+    const std::vector<std::pair<Int, unsigned>> &Accesses) const {
+  return countSectors(Accesses, Bytes);
+}
+
 namespace {
 
 /// Lane access shape of one tensor access inside (or outside) a vector
@@ -37,12 +42,17 @@ enum class LaneAccessKind {
   Replay     ///< Strided in the vector iterator: Width scalar accesses.
 };
 
-/// Per-statement simulation state.
+/// Per-statement simulation state. Generic over the transaction model:
+/// the walk itself only needs the lane-group size and the coalescing
+/// rule, so the GPU warp/sector and CPU vector/cache-line targets share
+/// it (and share its arithmetic exactly — the GPU path must stay
+/// bit-identical to the pre-target-subsystem simulator).
 class StmtSimulator {
 public:
-  StmtSimulator(const MappedKernel &M, const GpuModel &Model, unsigned Stmt)
-      : M(M), K(*M.K), Model(Model), StmtId(Stmt), S(K.Stmts[Stmt]),
-        Strides(analyzeStrides(K, S)) {
+  StmtSimulator(const MappedKernel &M, const TransactionModel &Tx,
+                unsigned Stmt)
+      : M(M), K(*M.K), Tx(Tx), LaneCount(Tx.laneCount()), StmtId(Stmt),
+        S(K.Stmts[Stmt]), Strides(analyzeStrides(K, S)) {
     // Stride of each access along each *schedule dimension*.
     unsigned ND = M.Dims.size();
     DimStride.assign(Strides.size(), std::vector<Int>(ND, 0));
@@ -89,7 +99,7 @@ public:
     for (const ThreadDim &T : ThreadDims)
       ThreadsPerBlock = checkedMul(ThreadsPerBlock, T.Count);
     Int WarpsPerBlock =
-        std::max<Int>(1, ceilDiv(ThreadsPerBlock, Model.WarpSize));
+        std::max<Int>(1, ceilDiv(ThreadsPerBlock, LaneCount));
     Int TotalBlocks = M.numBlocks();
     double TotalWarps =
         static_cast<double>(WarpsPerBlock) * static_cast<double>(TotalBlocks);
@@ -149,7 +159,7 @@ public:
 
     double WarpSteps = TotalWarps * StepsPerThread;
     Sim.Transactions += AvgTx * WarpSteps;
-    Sim.TransactionBytes += AvgTx * WarpSteps * Model.SectorBytes;
+    Sim.TransactionBytes += AvgTx * WarpSteps * Tx.transactionBytes();
     Sim.MemInstructions += AvgInstr * WarpSteps;
     Sim.ComputeInstructions += AvgActive * WarpSteps;
     double Instances = 1;
@@ -189,7 +199,7 @@ private:
 
   void simulateWarp(Int Warp, Int SeqPos,
                     const std::vector<ThreadDim> &ThreadDims,
-                    unsigned ElemBytes, double &Tx, double &Instr,
+                    unsigned ElemBytes, double &TxCount, double &Instr,
                     double &Active) {
     // Base element offset from sequential dims at the sampled position.
     std::vector<Int> BaseCoord(M.Dims.size(), 0);
@@ -201,8 +211,8 @@ private:
       LaneAccessKind Kind = accessKind(A);
       std::vector<std::pair<Int, unsigned>> LaneAccesses;
       unsigned ActiveLanes = 0;
-      for (unsigned Lane = 0; Lane != Model.WarpSize; ++Lane) {
-        Int Linear = Warp * Model.WarpSize + Lane;
+      for (unsigned Lane = 0; Lane != LaneCount; ++Lane) {
+        Int Linear = Warp * LaneCount + Lane;
         // Decompose into thread-dim coordinates, innermost fastest.
         bool LaneActive = true;
         Int Remainder = Linear;
@@ -247,7 +257,7 @@ private:
         }
         }
       }
-      Tx += countSectors(LaneAccesses, Model.SectorBytes);
+      TxCount += Tx.transactionsFor(LaneAccesses);
       if (A == 0)
         Active += ActiveLanes; // Count statement instances once.
     }
@@ -255,7 +265,8 @@ private:
 
   const MappedKernel &M;
   const Kernel &K;
-  const GpuModel &Model;
+  const TransactionModel &Tx;
+  unsigned LaneCount;
   unsigned StmtId;
   const Statement &S;
   std::vector<AccessStrides> Strides;
@@ -267,15 +278,17 @@ private:
 
 } // namespace
 
-KernelSim pinj::simulateKernel(const MappedKernel &M, const GpuModel &Model) {
-  obs::Span Sp("gpusim.simulate");
-  failpoint::hit("gpusim.simulate");
+KernelSim pinj::accumulateTransactions(const MappedKernel &M,
+                                       const TransactionModel &Tx) {
   KernelSim Sim;
   for (unsigned Stmt = 0, E = M.K->Stmts.size(); Stmt != E; ++Stmt) {
-    StmtSimulator StmtSim(M, Model, Stmt);
+    StmtSimulator StmtSim(M, Tx, Stmt);
     StmtSim.accumulate(Sim);
   }
+  return Sim;
+}
 
+KernelSim pinj::finishGpuTime(KernelSim Sim, const GpuModel &Model) {
   // Analytic time model. Bandwidth saturation depends on the bytes the
   // kernel keeps in flight: a float4 kernel with 4x fewer warps moves
   // the same bytes per request wave as its scalar counterpart.
@@ -296,6 +309,14 @@ KernelSim pinj::simulateKernel(const MappedKernel &M, const GpuModel &Model) {
       (Model.IssueRateGops * 1e9) * 1e6;
   Sim.TimeUs =
       Model.LaunchOverheadUs + std::max(Sim.MemTimeUs, Sim.ComputeTimeUs);
+  return Sim;
+}
+
+KernelSim pinj::simulateKernel(const MappedKernel &M, const GpuModel &Model) {
+  obs::Span Sp("gpusim.simulate");
+  failpoint::hit("gpusim.simulate");
+  SectorTransactionModel Tx(Model.WarpSize, Model.SectorBytes);
+  KernelSim Sim = finishGpuTime(accumulateTransactions(M, Tx), Model);
 
   static obs::Counter &Kernels =
       obs::metrics().counter("gpusim.kernels_simulated");

@@ -9,6 +9,7 @@
 
 #include "obs/Metrics.h"
 #include "service/Fingerprint.h"
+#include "target/Target.h"
 
 #include <algorithm>
 #include <cassert>
@@ -29,9 +30,10 @@ namespace {
 
 // On-disk format (text, one file):
 //
-//   polyinject-dataset v1
+//   polyinject-dataset v2
 //   schema <32hex feature-schema hash>
 //   space <32hex search-space signature>
+//   target <target id token>
 //   count <N>
 //   sample <kernel> <encoding> <time %.17g> <featureCount() doubles>
 //   ...
@@ -39,9 +41,11 @@ namespace {
 //
 // Parsing is strict and all-or-nothing: a dataset with silently dropped
 // or misparsed samples would train a subtly wrong model, which is worse
-// than forcing a rebuild.
+// than forcing a rebuild. v2 added the target line (the backend target
+// identity the times were scored under); v1 files are stale and
+// refused.
 
-constexpr const char *FileHeader = "polyinject-dataset v1";
+constexpr const char *FileHeader = "polyinject-dataset v2";
 
 obs::Counter &rejectCounter() {
   static obs::Counter &C = obs::metrics().counter("model.dataset_rejects");
@@ -89,11 +93,14 @@ std::size_t pinj::model::appendSamples(Dataset &D, const Kernel &K,
   if (D.SchemaHash.empty()) {
     D.SchemaHash = featureSchemaHash();
     D.SpaceSignature = Space.signature();
+    D.TargetId = target::targetIdForOptions(Base);
   }
   assert(D.SchemaHash == featureSchemaHash() &&
          "dataset built under another feature schema");
   assert(D.SpaceSignature == Space.signature() &&
          "dataset built under another search space");
+  assert(D.TargetId == target::targetIdForOptions(Base) &&
+         "dataset built under another backend target");
   if (Space.empty() || Cfg.CandidatesPerKernel == 0)
     return 0;
 
@@ -157,6 +164,7 @@ std::string pinj::model::serializeDataset(const Dataset &D) {
   Out << FileHeader << '\n';
   Out << "schema " << D.SchemaHash << '\n';
   Out << "space " << D.SpaceSignature << '\n';
+  Out << "target " << sanitizeToken(D.TargetId) << '\n';
   Out << "count " << D.Samples.size() << '\n';
   for (const Sample &S : D.Samples) {
     Out << "sample " << sanitizeToken(S.Kernel) << ' '
@@ -201,6 +209,18 @@ bool pinj::model::parseDataset(const std::string &Text, Dataset &Out,
   if (!HexLine("space", Out.SpaceSignature)) {
     rejectCounter().inc();
     return fail(Err, "malformed space line");
+  }
+  {
+    if (!std::getline(In, Line)) {
+      rejectCounter().inc();
+      return fail(Err, "truncated dataset file (no target line)");
+    }
+    std::istringstream F(Line);
+    std::string Tag, Extra;
+    if (!(F >> Tag >> Out.TargetId) || Tag != "target" || (F >> Extra)) {
+      rejectCounter().inc();
+      return fail(Err, "malformed target line");
+    }
   }
 
   std::size_t Count = 0;

@@ -45,10 +45,16 @@ struct Sample {
   std::string Encoding;
 };
 
-/// A dataset: samples plus the schema/space they were extracted under.
+/// A dataset: samples plus the schema/space/target they were extracted
+/// under.
 struct Dataset {
   std::string SchemaHash;      ///< featureSchemaHash() at build time.
   std::string SpaceSignature;  ///< SearchSpace::signature() at build time.
+  /// target::targetIdForOptions of the options the samples were scored
+  /// under. Times from different backends (or differently calibrated
+  /// constants) describe different functions; stamping the identity
+  /// keeps one surrogate from being mistrained on a mix.
+  std::string TargetId;
   std::vector<Sample> Samples;
 };
 

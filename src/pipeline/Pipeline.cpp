@@ -8,6 +8,7 @@
 #include "obs/Journal.h"
 #include "obs/Trace.h"
 #include "support/Status.h"
+#include "target/Target.h"
 
 #include <chrono>
 #include <cstdio>
@@ -220,7 +221,7 @@ OperatorReport pinj::runOperator(const Kernel &K,
     }
     try {
       MappedKernel Mk = mapToGpu(K, S, Options.Mapping);
-      Out.Sim = simulateKernel(Mk, Options.Gpu);
+      Out.Sim = target::simulateForOptions(Mk, Options);
       Out.TimeUs = Out.Sim.TimeUs;
     } catch (const RecoverableError &E) {
       Out.Sim = KernelSim();
@@ -399,7 +400,10 @@ OperatorReport pinj::runOperator(const Kernel &K,
     obs::Span Cfg("pipeline.config.tvm");
     if (!deadlineExpired("tvm")) {
       try {
-        Report.Tvm = simulateTvmProxy(K, Options.Gpu, Options.Mapping);
+        Report.Tvm = Options.Target
+                         ? simulateTvmProxy(K, *Options.Target,
+                                            Options.Mapping)
+                         : simulateTvmProxy(K, Options.Gpu, Options.Mapping);
       } catch (const RecoverableError &E) {
         Report.Tvm = TvmProxyResult();
         recordDegradation("tvm", E.status());

@@ -25,9 +25,15 @@
 #include "obs/Report.h"
 #include "sched/Scheduler.h"
 
+#include <memory>
+
 namespace pinj {
 
 struct PipelineOptions;
+
+namespace target {
+class TargetModel;
+}
 
 /// The scheduling artifacts one operator compile produces, in the form
 /// the compilation cache stores and replays: the three per-configuration
@@ -105,6 +111,15 @@ struct PipelineOptions {
   InfluenceOptions Influence;
   GpuMappingOptions Mapping;
   GpuModel Gpu;
+  /// The backend target that scores every configuration (src/target/).
+  /// Null means the built-in GPU analytic backend over `Gpu` — the
+  /// default, and bit-identical to the pre-target-subsystem path; code
+  /// that mutates `Gpu` directly keeps working unchanged. When set,
+  /// simulation, the tvm proxy, the tuner's evaluator and the options
+  /// fingerprint all follow it (and `Gpu` is ignored unless the target
+  /// is itself GPU-analytic). Shared const: safe across the batch
+  /// compiler's and daemon's worker pools.
+  std::shared_ptr<const target::TargetModel> Target;
   /// Execute original vs scheduled order on real buffers and compare
   /// (slow; meant for tests and small shapes).
   bool Validate = false;

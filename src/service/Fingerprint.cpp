@@ -3,6 +3,7 @@
 #include "service/Fingerprint.h"
 
 #include "pipeline/Pipeline.h"
+#include "target/GpuAnalyticTarget.h"
 
 #include <cstring>
 
@@ -133,8 +134,12 @@ Fingerprint service::fingerprintKernel(const Kernel &K) {
 
 std::uint64_t service::fingerprintOptions(const PipelineOptions &O) {
   FingerprintBuilder H;
-  // v2: InfluenceOptions::MaxVectorWidth joined the hashed shape.
-  H.str("pinj-options-v2");
+  // v3: the GPU machine-model fields were replaced by the canonical
+  // target section (kind + every named constant) — a null Target hashes
+  // as the gpu-analytic backend over O.Gpu, so `--gpu=v100`,
+  // `--target=v100` and the defaults all share cache entries, while any
+  // other backend or calibrated constant set never aliases them.
+  H.str("pinj-options-v3");
   // SchedulerOptions.
   H.i64(O.Sched.CoeffBound);
   H.i64(O.Sched.ConstBound);
@@ -155,18 +160,21 @@ std::uint64_t service::fingerprintOptions(const PipelineOptions &O) {
   H.u32(O.Influence.MaxScenarios);
   H.u32(O.Influence.MaxInnerDims);
   H.u32(O.Influence.MaxVectorWidth);
-  // GPU mapping + machine model (the model feeds vector-width choices
-  // through the influence cost, so it is compilation-relevant).
+  // GPU mapping + backend target (the machine model feeds vector-width
+  // choices through the influence cost, and the target scores every
+  // configuration, so both are compilation-relevant). The canonical
+  // form covers the kind and every named constant; the display name is
+  // deliberately absent (identity is what the target computes).
   H.i64(O.Mapping.MaxThreadsPerBlock);
-  H.u32(O.Gpu.WarpSize);
-  H.u32(O.Gpu.SectorBytes);
-  H.f64(O.Gpu.PeakBandwidthGBs);
-  H.f64(O.Gpu.IssueRateGops);
-  H.f64(O.Gpu.LaunchOverheadUs);
-  H.f64(O.Gpu.OutstandingRequestsPerWarp);
-  H.f64(O.Gpu.HalfSaturationBytes);
-  H.f64(O.Gpu.MinEfficiency);
-  H.f64(O.Gpu.NarrowAccessEfficiency);
+  H.str(O.Target ? O.Target->kind()
+                 : std::string(target::GpuAnalyticKind));
+  std::vector<target::TargetParam> Params =
+      O.Target ? O.Target->params() : target::gpuAnalyticParams(O.Gpu);
+  H.u64(Params.size());
+  for (const target::TargetParam &P : Params) {
+    H.str(P.Name);
+    H.f64(P.Value);
+  }
   H.byte(O.Validate ? 1 : 0);
   hashBudget(H, O.Budget);
   return H.get().Hi ^ (H.get().Lo * FnvPrime);

@@ -1,0 +1,120 @@
+//===- target/Calibrate.cpp -----------------------------------------------===//
+
+#include "target/Calibrate.h"
+
+#include "target/CpuSimdTarget.h"
+#include "target/GpuAnalyticTarget.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pinj;
+using namespace pinj::target;
+
+namespace {
+
+/// Mean squared log-time error of T's current constants over the rows.
+double objective(const TargetModel &T,
+                 const std::vector<CalibrationSample> &Rows) {
+  double Sum = 0;
+  std::size_t N = 0;
+  for (const CalibrationSample &R : Rows) {
+    if (!(R.MeasuredUs > 0))
+      continue;
+    double Pred = std::max(1e-9, T.finishTime(R.Counters).TimeUs);
+    double E = std::log(Pred) - std::log(R.MeasuredUs);
+    Sum += E * E;
+    ++N;
+  }
+  return N ? Sum / static_cast<double>(N) : 0.0;
+}
+
+/// Sets \p Name to \p V and returns the objective (V is always inside
+/// the parameter's range by construction of the bracket).
+double probe(TargetModel &T, const std::string &Name, double V,
+             const std::vector<CalibrationSample> &Rows) {
+  T.setParam(Name, V);
+  return objective(T, Rows);
+}
+
+} // namespace
+
+std::vector<std::string> target::defaultFitParams(const std::string &Kind) {
+  if (Kind == CpuSimdKind)
+    return {"PeakBandwidthGBs", "IssueRateGops", "LaunchOverheadUs",
+            "HalfSaturationBytes", "NarrowAccessEfficiency"};
+  return {"PeakBandwidthGBs", "LaunchOverheadUs", "HalfSaturationBytes",
+          "NarrowAccessEfficiency"};
+}
+
+CalibrationResult
+target::fitTargetParams(TargetModel &T,
+                        const std::vector<CalibrationSample> &Rows,
+                        const std::vector<std::string> &FitNames,
+                        const CalibrationConfig &Cfg) {
+  CalibrationResult Res;
+  if (FitNames.empty() || Rows.empty()) {
+    Res.RmsLogError = std::sqrt(objective(T, Rows));
+    return Res;
+  }
+
+  // Golden-section line search in log space per constant, cyclic order.
+  const double Phi = (std::sqrt(5.0) - 1.0) / 2.0; // 0.618...
+  double Best = objective(T, Rows);
+  for (unsigned Sweep = 0; Sweep != Cfg.Sweeps; ++Sweep) {
+    double SweepStart = Best;
+    for (const std::string &Name : FitNames) {
+      double Cur = 0;
+      for (const TargetParam &P : T.params())
+        if (P.Name == Name)
+          Cur = P.Value;
+      auto [RangeLo, RangeHi] = T.paramRange(Name);
+      double Lo = std::max(RangeLo, Cur / Cfg.BracketFactor);
+      double Hi = std::min(RangeHi, Cur * Cfg.BracketFactor);
+      if (!(Lo > 0) || !(Hi > Lo)) {
+        T.setParam(Name, Cur);
+        continue;
+      }
+      double A = std::log(Lo), B = std::log(Hi);
+      double X1 = B - Phi * (B - A), X2 = A + Phi * (B - A);
+      double F1 = probe(T, Name, std::exp(X1), Rows);
+      double F2 = probe(T, Name, std::exp(X2), Rows);
+      for (unsigned It = 0; It != Cfg.LineSearchIters; ++It) {
+        if (F1 <= F2) {
+          B = X2;
+          X2 = X1;
+          F2 = F1;
+          X1 = B - Phi * (B - A);
+          F1 = probe(T, Name, std::exp(X1), Rows);
+        } else {
+          A = X1;
+          X1 = X2;
+          F1 = F2;
+          X2 = A + Phi * (B - A);
+          F2 = probe(T, Name, std::exp(X2), Rows);
+        }
+      }
+      double XBest = F1 <= F2 ? X1 : X2;
+      double FBest = std::min(F1, F2);
+      // Keep the line-search winner only if it does not lose to the
+      // incumbent (golden section assumes unimodality; the incumbent
+      // is the safety net when that assumption frays).
+      if (FBest <= Best) {
+        T.setParam(Name, std::exp(XBest));
+        Best = FBest;
+      } else {
+        T.setParam(Name, Cur);
+      }
+    }
+    ++Res.SweepsRun;
+    if (SweepStart - Best < 1e-16 && Sweep > 0)
+      break; // Converged: the sweep moved nothing.
+  }
+
+  Res.RmsLogError = std::sqrt(Best);
+  for (const std::string &Name : FitNames)
+    for (const TargetParam &P : T.params())
+      if (P.Name == Name)
+        Res.Fitted.push_back(P);
+  return Res;
+}

@@ -1,0 +1,78 @@
+//===- target/Calibrate.h - Fit target constants from a table ---*- C++ -*-===//
+//
+// Part of PolyInject, a reproduction of "Optimizing GPU Deep Learning
+// Operators with Polyhedral Scheduling Constraint Injection" (CGO 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fits a target's time-model constants to a measured (kernel, config,
+/// time) table. The transaction/time split of TargetModel makes this a
+/// small deterministic optimization: each row's counters are
+/// accumulated once (they depend only on the transaction model, which
+/// is not fitted), and the fit minimizes the mean squared *log* error
+/// of finishTime over the rows by cyclic coordinate descent with a
+/// golden-section line search per constant — fixed iteration counts,
+/// fixed order, no randomness, no threads, so two runs over the same
+/// table produce bit-identical constants (and therefore bit-identical
+/// `.ptgt` files).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef POLYINJECT_TARGET_CALIBRATE_H
+#define POLYINJECT_TARGET_CALIBRATE_H
+
+#include "target/Target.h"
+
+namespace pinj {
+namespace target {
+
+/// One measured table row, reduced to what the time model consumes.
+struct CalibrationSample {
+  KernelSim Counters; ///< accumulateCounters of the row's mapped kernel.
+  double MeasuredUs = 0;
+};
+
+struct CalibrationConfig {
+  /// Full coordinate-descent sweeps over the fitted constants. Sweeps
+  /// are cheap (pure arithmetic over pre-accumulated counters), and
+  /// coupled constants (bandwidth / half-saturation / launch overhead)
+  /// crawl along a curved valley, so the default is generous — the
+  /// early-exit below stops sooner whenever a sweep moves nothing.
+  unsigned Sweeps = 400;
+  /// Golden-section iterations per line search.
+  unsigned LineSearchIters = 48;
+  /// Per-sweep search bracket: [current/BracketFactor,
+  /// current*BracketFactor] in log space, intersected with the
+  /// parameter's admissible range. Successive sweeps can therefore
+  /// travel arbitrarily far from the initial guess.
+  double BracketFactor = 4.0;
+};
+
+struct CalibrationResult {
+  /// Root of the mean squared log-time error over the table.
+  double RmsLogError = 0;
+  unsigned SweepsRun = 0;
+  /// The fitted constants (FitNames order), after the final sweep.
+  std::vector<TargetParam> Fitted;
+};
+
+/// Fits the named constants of \p T (mutated in place; clone a shared
+/// target first) to \p Rows. Constants not named keep their current
+/// values. Rows with non-positive measured times are ignored.
+CalibrationResult fitTargetParams(TargetModel &T,
+                                  const std::vector<CalibrationSample> &Rows,
+                                  const std::vector<std::string> &FitNames,
+                                  const CalibrationConfig &Cfg =
+                                      CalibrationConfig());
+
+/// The constants a calibration fits by default for \p Kind. GPU tables
+/// from this corpus are memory-bound in every row, which leaves the
+/// issue rate unidentifiable — it is fitted only on cpu-simd, whose
+/// additive time model exposes it.
+std::vector<std::string> defaultFitParams(const std::string &Kind);
+
+} // namespace target
+} // namespace pinj
+
+#endif // POLYINJECT_TARGET_CALIBRATE_H

@@ -1,0 +1,110 @@
+//===- target/CpuSimdTarget.cpp -------------------------------------------===//
+
+#include "target/CpuSimdTarget.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pinj;
+using namespace pinj::target;
+
+KernelSim CpuSimdTarget::accumulateCounters(const MappedKernel &Mk) const {
+  // Cache-line transaction model: groups of SimdLanes vector lanes,
+  // coalescing measured as distinct 64-byte lines touched.
+  SectorTransactionModel Tx(M.SimdLanes, M.CacheLineBytes);
+  return accumulateTransactions(Mk, Tx);
+}
+
+KernelSim CpuSimdTarget::finishTime(KernelSim Sim) const {
+  // Bandwidth term: the prefetchers ramp up over the streamed bytes
+  // (x/(1+x) in TransactionBytes), scaled down for narrow lane
+  // accesses that cannot keep the line-fill buffers busy.
+  double BytesPerLane = Sim.MemInstructions > 0
+                            ? Sim.UsefulBytes / Sim.MemInstructions
+                            : 4.0;
+  double X = M.HalfSaturationBytes > 0
+                 ? Sim.TransactionBytes / M.HalfSaturationBytes
+                 : 1.0;
+  double Fraction = X / (1.0 + X);
+  double LaneScale = BytesPerLane >= 16.0 ? 1.0 : BytesPerLane / 16.0;
+  Fraction *=
+      M.NarrowAccessEfficiency + (1.0 - M.NarrowAccessEfficiency) * LaneScale;
+  double Efficiency = std::max(M.MinEfficiency, Fraction);
+  Sim.MemTimeUs =
+      Sim.TransactionBytes / (M.PeakBandwidthGBs * Efficiency * 1e9) * 1e6;
+  Sim.ComputeTimeUs = (Sim.MemInstructions + Sim.ComputeInstructions) /
+                      (M.IssueRateGops * 1e9) * 1e6;
+  // A handful of cores overlaps memory and compute far less than a
+  // GPU: the terms add instead of taking the max.
+  Sim.TimeUs = M.LaunchOverheadUs + Sim.MemTimeUs + Sim.ComputeTimeUs;
+  return Sim;
+}
+
+KernelSim CpuSimdTarget::simulate(const MappedKernel &Mk) const {
+  obs::Span Sp("target.cpu_simd.simulate");
+  KernelSim Sim = finishTime(accumulateCounters(Mk));
+  static obs::Counter &Kernels =
+      obs::metrics().counter("target.cpu_kernels_simulated");
+  Kernels.inc();
+  if (Sp.active())
+    Sp.arg("kernel", Mk.K->Name)
+        .arg("transactions", Sim.Transactions)
+        .arg("time_us", Sim.TimeUs);
+  return Sim;
+}
+
+std::vector<TargetParam> CpuSimdTarget::params() const {
+  return {
+      {"SimdLanes", static_cast<double>(M.SimdLanes)},
+      {"CacheLineBytes", static_cast<double>(M.CacheLineBytes)},
+      {"PeakBandwidthGBs", M.PeakBandwidthGBs},
+      {"IssueRateGops", M.IssueRateGops},
+      {"LaunchOverheadUs", M.LaunchOverheadUs},
+      {"HalfSaturationBytes", M.HalfSaturationBytes},
+      {"MinEfficiency", M.MinEfficiency},
+      {"NarrowAccessEfficiency", M.NarrowAccessEfficiency},
+  };
+}
+
+bool CpuSimdTarget::setParam(const std::string &Name, double Value) {
+  auto [Lo, Hi] = paramRange(Name);
+  if (!(Value >= Lo && Value <= Hi) || !std::isfinite(Value))
+    return false;
+  if (Name == "SimdLanes")
+    M.SimdLanes = static_cast<unsigned>(Value);
+  else if (Name == "CacheLineBytes")
+    M.CacheLineBytes = static_cast<unsigned>(Value);
+  else if (Name == "PeakBandwidthGBs")
+    M.PeakBandwidthGBs = Value;
+  else if (Name == "IssueRateGops")
+    M.IssueRateGops = Value;
+  else if (Name == "LaunchOverheadUs")
+    M.LaunchOverheadUs = Value;
+  else if (Name == "HalfSaturationBytes")
+    M.HalfSaturationBytes = Value;
+  else if (Name == "MinEfficiency")
+    M.MinEfficiency = Value;
+  else if (Name == "NarrowAccessEfficiency")
+    M.NarrowAccessEfficiency = Value;
+  else
+    return false;
+  return true;
+}
+
+std::pair<double, double>
+CpuSimdTarget::paramRange(const std::string &Name) const {
+  if (Name == "MinEfficiency" || Name == "NarrowAccessEfficiency")
+    return {0.001, 1.0};
+  if (Name == "SimdLanes" || Name == "CacheLineBytes")
+    return {1.0, 4096.0};
+  return TargetModel::paramRange(Name);
+}
+
+std::shared_ptr<TargetModel> CpuSimdTarget::clone() const {
+  auto Copy = std::make_shared<CpuSimdTarget>(M);
+  Copy->rename(name());
+  return Copy;
+}

@@ -7,6 +7,7 @@
 #include "lp/Budget.h"
 #include "obs/Metrics.h"
 #include "support/Status.h"
+#include "target/Target.h"
 
 #include <atomic>
 #include <thread>
@@ -14,7 +15,8 @@
 using namespace pinj;
 using namespace pinj::tune;
 
-double tune::predictInflTimeUs(const Kernel &K, const PipelineOptions &O) {
+bool tune::buildInflMappedKernel(const Kernel &K, const PipelineOptions &O,
+                                 MappedKernel &Out) {
   try {
     // Mirror runOperator's operator-wide budget; anyTripped() below then
     // sees both this scope and any caller-installed candidate scope.
@@ -39,30 +41,37 @@ double tune::predictInflTimeUs(const Kernel &K, const PipelineOptions &O) {
       IslOptions.SerializeSccs = true;
       SchedulerResult IslRun = scheduleKernel(K, IslOptions);
       if (!IslRun.Outcome.ok())
-        return failedScore();
+        return false;
       InflSched = IslRun.Sched;
       if (!isSimulatableSchedule(K, InflSched))
-        return failedScore();
+        return false;
     }
 
     try {
       finalizeVectorMarks(K, InflSched, /*DisableVectorization=*/false);
     } catch (const RecoverableError &) {
-      return failedScore();
+      return false;
     }
     if (!isSimulatableSchedule(K, InflSched))
-      return failedScore();
+      return false;
 
     // A budget shaped this run; the un-tripped pipeline would produce a
     // different schedule, so the score would be for the wrong config.
     if (budget::anyTripped())
-      return failedScore();
+      return false;
 
-    MappedKernel M = mapToGpu(K, InflSched, O.Mapping);
-    return simulateKernel(M, O.Gpu).TimeUs;
+    Out = mapToGpu(K, InflSched, O.Mapping);
+    return true;
   } catch (const RecoverableError &) {
-    return failedScore();
+    return false;
   }
+}
+
+double tune::predictInflTimeUs(const Kernel &K, const PipelineOptions &O) {
+  MappedKernel M;
+  if (!buildInflMappedKernel(K, O, M))
+    return failedScore();
+  return target::simulateForOptions(M, O).TimeUs;
 }
 
 Evaluator::Evaluator(const Kernel &K, const PipelineOptions &Base,

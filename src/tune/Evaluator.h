@@ -101,6 +101,15 @@ private:
 /// not what the un-tripped pipeline would produce).
 double predictInflTimeUs(const Kernel &K, const PipelineOptions &O);
 
+/// The scheduling-and-mapping front half of predictInflTimeUs: produces
+/// the mapped kernel a candidate's score would simulate, without scoring
+/// it. \returns false in exactly the cases predictInflTimeUs returns
+/// failedScore(). The calibration tool uses this to accumulate a row's
+/// transaction counters once and re-score them under candidate
+/// time-model constants.
+bool buildInflMappedKernel(const Kernel &K, const PipelineOptions &O,
+                           MappedKernel &Out);
+
 } // namespace tune
 } // namespace pinj
 

@@ -21,8 +21,10 @@
 #include "service/Admission.h"
 #include "service/Cache.h"
 #include "service/Daemon.h"
+#include "obs/Metrics.h"
 #include "service/Fingerprint.h"
 #include "support/FailPoint.h"
+#include "target/Target.h"
 
 #include "TestKernels.h"
 
@@ -32,6 +34,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -386,6 +389,57 @@ TEST(DaemonAsyncTest, EveryLineGetsExactlyOneResponse) {
   // Accounting balances: every line ended as exactly one of these.
   EXPECT_EQ(Submitted, S.Completed + S.shedTotal() + S.ParseErrors +
                            S.FaultResponses + /*pings*/ 4u);
+}
+
+TEST(DaemonAsyncTest, SharedCpuSimdTargetIsRaceFreeAcrossWorkers) {
+  // One const cpu-simd TargetModel instance shared by the whole worker
+  // pool: every compile scores candidates through it concurrently, so
+  // the TSan configuration of this binary probes the immutability
+  // contract of target::TargetModel.
+  DaemonConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.Admission.QueueCapacity = 64;
+  Cfg.Pipeline.Target = target::makeBuiltinTarget("cpu-simd");
+  ASSERT_TRUE(Cfg.Pipeline.Target);
+
+  obs::MetricsSnapshot Before = obs::metrics().snapshot();
+  std::mutex Mu;
+  std::vector<std::string> Lines;
+  Daemon D(Cfg);
+  D.start([&](const std::string &L) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Lines.push_back(L);
+  });
+
+  // Duplicate kernels on purpose: later submissions of the same kernel
+  // race the cache tier against in-flight compiles of the same key.
+  std::vector<Kernel> Corpus = {makeElementwise(8, 8), makeTranspose(8, 6),
+                                makeProducerConsumer(6, 8),
+                                makeBadOrderCopy(6, 8)};
+  std::size_t Submitted = 0;
+  for (unsigned I = 0; I != 16; ++I) {
+    D.submitLine(compileLine("t" + std::to_string(I),
+                             Corpus[I % Corpus.size()]));
+    ++Submitted;
+  }
+  // Wait for every response before draining: drain sheds queued work,
+  // and this test wants every compile to actually run through the
+  // shared target.
+  for (int Spin = 0; Spin != 2000 && D.stats().Responses < Submitted; ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  D.drainAndStop();
+
+  DaemonStats S = D.stats();
+  EXPECT_EQ(Submitted, S.Submitted);
+  EXPECT_EQ(Submitted, S.Responses);
+  EXPECT_EQ(Submitted, S.Completed);
+  ASSERT_EQ(Submitted, Lines.size());
+  for (const std::string &L : Lines)
+    EXPECT_EQ("ok", statusOf(L)) << L;
+
+  // The cpu backend actually scored kernels from the worker threads.
+  obs::MetricsSnapshot Delta = obs::metrics().snapshot().since(Before);
+  EXPECT_GT(Delta.counter("target.cpu_kernels_simulated"), 0u);
 }
 
 TEST(DaemonAsyncTest, DrainShedsQueuedWorkWithTerminalResponses) {

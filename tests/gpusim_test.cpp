@@ -75,6 +75,43 @@ TEST(Sectors, UnalignedAccessSpansTwoSectors) {
 
 TEST(Sectors, EmptyAccessList) { EXPECT_EQ(countSectors({}), 0u); }
 
+TEST(Sectors, WideAccessSplitsAcrossSectors) {
+  // One access wider than 128 bits splits over ceil(size / 32) sectors
+  // when aligned, one more when it straddles a boundary.
+  EXPECT_EQ(countSectors({{0, 64}}), 2u);
+  EXPECT_EQ(countSectors({{16, 64}}), 3u);
+  EXPECT_EQ(countSectors({{0, 256}}), 8u);
+  EXPECT_EQ(countSectors({{4, 256}}), 9u);
+}
+
+TEST(Sectors, NegativeStrideCoalescesLikePositive) {
+  // Descending lane addresses touch the same sectors as ascending ones.
+  std::vector<std::pair<Int, unsigned>> Down, Up;
+  for (Int L = 0; L != 32; ++L) {
+    Down.emplace_back((31 - L) * 4, 4);
+    Up.emplace_back(L * 4, 4);
+  }
+  EXPECT_EQ(countSectors(Down), countSectors(Up));
+  EXPECT_EQ(countSectors(Down), 4u);
+  // A descending block not aligned to a sector spans one extra sector.
+  std::vector<std::pair<Int, unsigned>> Mis;
+  for (Int L = 0; L != 32; ++L)
+    Mis.emplace_back(128 - 4 * L, 4);
+  EXPECT_EQ(countSectors(Mis), 5u);
+}
+
+TEST(Sectors, TransactionModelMatchesGranularity) {
+  // The generic transaction model reproduces countSectors at the GPU's
+  // 32B granularity and groups 16 contiguous 4B lanes into a single 64B
+  // cache line at the CPU's.
+  SectorTransactionModel Gpu(32, 32), Cpu(16, 64);
+  std::vector<std::pair<Int, unsigned>> Lanes;
+  for (Int L = 0; L != 16; ++L)
+    Lanes.emplace_back(L * 4, 4);
+  EXPECT_EQ(Gpu.transactionsFor(Lanes), 2.0);
+  EXPECT_EQ(Cpu.transactionsFor(Lanes), 1.0);
+}
+
 //===----------------------------------------------------------------------===//
 // Kernel simulation sanity
 //===----------------------------------------------------------------------===//
@@ -193,6 +230,97 @@ TEST(Simulator, BroadcastLoadsCoalesceToOneSector) {
   Kernel K = B.build();
   KernelSim Sim = simulateInfluenced(K, /*Vectorize=*/true);
   EXPECT_GT(Sim.efficiency(), 0.85);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden transaction counts (warp-walk edge cases)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A 1D copy OUT[i] = relu(IN[i]) whose mapping is fully predictable:
+/// one parallel dim, Extent threads in one block (for Extent <= 1024).
+Kernel make1DCopy(Int Extent) {
+  KernelBuilder B("copy1d");
+  unsigned In = B.tensor("IN", {Extent});
+  unsigned Out = B.tensor("OUT", {Extent});
+  B.stmt("S", {{"i", Extent}})
+      .write(Out, {"i"})
+      .read(In, {"i"})
+      .op(OpKind::Relu);
+  return B.build();
+}
+
+/// Schedules and maps \p K with the baseline scheduler, asserting the
+/// one-block all-threads mapping the golden counts below assume.
+MappedKernel mapOneBlock(const Kernel &K, Int Threads) {
+  SchedulerResult R = scheduleKernel(K, baseline());
+  MappedKernel M = mapToGpu(K, R.Sched);
+  EXPECT_EQ(M.threadsPerBlock(), Threads);
+  EXPECT_EQ(M.numBlocks(), 1);
+  return M;
+}
+
+} // namespace
+
+TEST(GoldenCounts, PartialLastWarpCountsActiveLanesOnly) {
+  // 48 threads = one full warp + one half-full warp. Full warp: 128
+  // contiguous bytes = 4 sectors per access; partial warp: 16 active
+  // lanes, 64 bytes = 2 sectors per access; 2 accesses (read + write).
+  Kernel K = make1DCopy(48);
+  MappedKernel M = mapOneBlock(K, 48);
+  KernelSim Sim = simulateKernel(M, GpuModel());
+  EXPECT_DOUBLE_EQ(Sim.Warps, 2.0);
+  EXPECT_DOUBLE_EQ(Sim.Transactions, (4 + 2) * 2.0);
+  EXPECT_DOUBLE_EQ(Sim.TransactionBytes, 12 * 32.0);
+  // Inactive lanes issue nothing: 48 instances x 2 accesses.
+  EXPECT_DOUBLE_EQ(Sim.MemInstructions, 48 * 2.0);
+  EXPECT_DOUBLE_EQ(Sim.ComputeInstructions, 48.0);
+  EXPECT_DOUBLE_EQ(Sim.UsefulBytes, 48 * 2 * 4.0);
+}
+
+TEST(GoldenCounts, StrideZeroBroadcastIsOneSectorPerWarp) {
+  // OUT[i] = relu(C[0]): the read is stride-0 across the warp, so all
+  // 32 lanes hit one sector; the write stays 4 sectors per warp.
+  KernelBuilder B("broadcast1d");
+  unsigned C = B.tensor("C", {1});
+  unsigned Out = B.tensor("OUT", {64});
+  B.stmt("S", {{"i", 64}})
+      .write(Out, {"i"})
+      .read(C, {IndexExpr(Int(0))})
+      .op(OpKind::Relu);
+  Kernel K = B.build();
+  MappedKernel M = mapOneBlock(K, 64);
+  KernelSim Sim = simulateKernel(M, GpuModel());
+  EXPECT_DOUBLE_EQ(Sim.Warps, 2.0);
+  EXPECT_DOUBLE_EQ(Sim.Transactions, (4 + 1) * 2.0);
+  EXPECT_DOUBLE_EQ(Sim.MemInstructions, 64 * 2.0);
+  EXPECT_DOUBLE_EQ(Sim.UsefulBytes, 64 * 2 * 4.0);
+}
+
+TEST(GoldenCounts, NegativeStrideCoalescesLikeForward) {
+  // OUT[i] = relu(IN[63 - i]): the reversed read touches the same
+  // sectors per warp as the forward copy — identical golden counts.
+  KernelBuilder B("reverse1d");
+  unsigned In = B.tensor("IN", {64});
+  unsigned Out = B.tensor("OUT", {64});
+  IndexExpr Reversed;
+  Reversed.Terms.emplace_back("i", -1);
+  Reversed.Constant = 63;
+  B.stmt("S", {{"i", 64}})
+      .write(Out, {"i"})
+      .read(In, {Reversed})
+      .op(OpKind::Relu);
+  Kernel K = B.build();
+  MappedKernel M = mapOneBlock(K, 64);
+  KernelSim Rev = simulateKernel(M, GpuModel());
+  EXPECT_DOUBLE_EQ(Rev.Transactions, (4 + 4) * 2.0);
+
+  Kernel Fwd = make1DCopy(64);
+  KernelSim FwdSim = simulateKernel(mapOneBlock(Fwd, 64), GpuModel());
+  EXPECT_DOUBLE_EQ(Rev.Transactions, FwdSim.Transactions);
+  EXPECT_DOUBLE_EQ(Rev.MemInstructions, FwdSim.MemInstructions);
+  EXPECT_DOUBLE_EQ(Rev.UsefulBytes, FwdSim.UsefulBytes);
 }
 
 TEST(Simulator, ReplayAccessesCostWidthInstructions) {

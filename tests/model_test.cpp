@@ -17,6 +17,7 @@
 #include "model/Features.h"
 #include "model/GbStumps.h"
 #include "obs/Metrics.h"
+#include "target/Target.h"
 #include "tune/Autotuner.h"
 #include "tune/Evaluator.h"
 #include "tune/SearchSpace.h"
@@ -303,7 +304,7 @@ TEST(Dataset, FileRoundTripsBitExactlyAndRejectsStaleness) {
   Dataset Out;
   // Version bump rejects the whole file.
   std::string Bumped = Text;
-  std::size_t At = Bumped.find("v1");
+  std::size_t At = Bumped.find("v2");
   ASSERT_NE(At, std::string::npos);
   Bumped.replace(At, 2, "v9");
   EXPECT_FALSE(parseDataset(Bumped, Out, &Err));
@@ -319,6 +320,48 @@ TEST(Dataset, FileRoundTripsBitExactlyAndRejectsStaleness) {
   EXPECT_FALSE(parseDataset(Text.substr(0, Text.size() - 4), Out, &Err));
   obs::MetricsSnapshot Delta = obs::metrics().snapshot().since(Before);
   EXPECT_EQ(Delta.counter("model.dataset_rejects"), 3u);
+}
+
+TEST(Dataset, TargetStampSeparatesBackends) {
+  Kernel K = makeElementwise(8, 12);
+  tune::SearchSpace Space = tune::defaultSearchSpace();
+  DatasetBuildConfig Cfg;
+  Cfg.CandidatesPerKernel = 4;
+
+  Dataset Gpu;
+  ASSERT_GT(appendSamples(Gpu, K, PipelineOptions(), Space, nullptr, Cfg),
+            0u);
+  EXPECT_EQ(Gpu.TargetId, target::targetIdForOptions(PipelineOptions()));
+  EXPECT_EQ(Gpu.TargetId.find("gpu-analytic-"), 0u) << Gpu.TargetId;
+
+  // Samples scored under another backend carry a different stamp, so a
+  // trainer can refuse to mix them (polyinject-train checks on load).
+  PipelineOptions CpuBase;
+  CpuBase.Target = target::makeBuiltinTarget("cpu-simd");
+  Dataset Cpu;
+  ASSERT_GT(appendSamples(Cpu, K, CpuBase, Space, nullptr, Cfg), 0u);
+  EXPECT_EQ(Cpu.TargetId.find("cpu-simd-"), 0u) << Cpu.TargetId;
+  EXPECT_NE(Cpu.TargetId, Gpu.TargetId);
+
+  // The stamp round-trips through the file form.
+  std::string Text = serializeDataset(Cpu);
+  EXPECT_NE(Text.find("target " + Cpu.TargetId), std::string::npos);
+  Dataset Back;
+  std::string Err;
+  ASSERT_TRUE(parseDataset(Text, Back, &Err)) << Err;
+  EXPECT_EQ(Back.TargetId, Cpu.TargetId);
+
+  // A mangled target line rejects the whole file, counted like every
+  // other staleness rejection.
+  obs::MetricsSnapshot Before = obs::metrics().snapshot();
+  std::string Mangled = Text;
+  std::size_t At = Mangled.find("target ");
+  ASSERT_NE(At, std::string::npos);
+  Mangled.replace(At, 7, "backend ");
+  Dataset Out;
+  EXPECT_FALSE(parseDataset(Mangled, Out, &Err));
+  obs::MetricsSnapshot D = obs::metrics().snapshot().since(Before);
+  EXPECT_EQ(D.counter("model.dataset_rejects"), 1u);
 }
 
 //===----------------------------------------------------------------------===//

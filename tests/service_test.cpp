@@ -19,6 +19,8 @@
 #include "service/BatchCompiler.h"
 #include "service/Cache.h"
 #include "service/Fingerprint.h"
+#include "target/GpuAnalyticTarget.h"
+#include "target/Target.h"
 
 #include "TestKernels.h"
 
@@ -154,6 +156,119 @@ TEST(FingerprintTest, OptionsChangeRequestHash) {
   Plumbing.Sink = &Sink;
   Plumbing.Cache = &Cache;
   EXPECT_EQ(FP, fingerprintRequest(K, Plumbing));
+}
+
+namespace {
+
+// Compile-time checklist that fingerprintOptions covers the whole of
+// PipelineOptions: this mirror repeats its members field for field.
+// Adding a field to PipelineOptions breaks the size assertion below;
+// to fix it, add the field here AND either a sensitivity case in
+// EveryPipelineOptionFieldIsHashed or an explicit exclusion case (and
+// teach service/Fingerprint.cpp about it).
+struct PipelineOptionsMirror {
+  SchedulerOptions Sched;
+  InfluenceOptions Influence;
+  GpuMappingOptions Mapping;
+  GpuModel Gpu;
+  std::shared_ptr<const target::TargetModel> Target;
+  bool Validate;
+  SolverBudget Budget;
+  obs::ReportSink *Sink;
+  CompilationCacheHook *Cache;
+  TuningHook *Tuner;
+};
+static_assert(sizeof(PipelineOptionsMirror) == sizeof(PipelineOptions),
+              "PipelineOptions changed: update the fingerprint coverage "
+              "checklist in service_test.cpp and service/Fingerprint.cpp");
+
+} // namespace
+
+TEST(FingerprintTest, EveryPipelineOptionFieldIsHashed) {
+  const std::uint64_t Base = fingerprintOptions(PipelineOptions());
+  unsigned Case = 0;
+  auto Sensitive = [&](auto Mutate) {
+    PipelineOptions O;
+    Mutate(O);
+    EXPECT_NE(Base, fingerprintOptions(O)) << "leaf case " << Case;
+    ++Case;
+  };
+
+  // SchedulerOptions.
+  Sensitive([](PipelineOptions &O) { O.Sched.CoeffBound += 1; });
+  Sensitive([](PipelineOptions &O) { O.Sched.ConstBound += 1; });
+  Sensitive([](PipelineOptions &O) { O.Sched.ProximityIncludesInput = true; });
+  Sensitive([](PipelineOptions &O) { O.Sched.SerializeSccs = true; });
+  Sensitive([](PipelineOptions &O) { O.Sched.PreferOriginalOrder = false; });
+  Sensitive([](PipelineOptions &O) { O.Sched.UseFeautrierFallback = true; });
+  Sensitive([](PipelineOptions &O) { O.Sched.MaxDims += 1; });
+  Sensitive([](PipelineOptions &O) { O.Sched.Budget.MaxPivots = 7; });
+  Sensitive([](PipelineOptions &O) { O.Sched.Budget.MaxIlpNodes = 7; });
+  Sensitive([](PipelineOptions &O) { O.Sched.Budget.WallMs = 7.0; });
+  // InfluenceOptions.
+  Sensitive([](PipelineOptions &O) { O.Influence.Weights.W1 += 0.25; });
+  Sensitive([](PipelineOptions &O) { O.Influence.Weights.W2 += 0.25; });
+  Sensitive([](PipelineOptions &O) { O.Influence.Weights.W3 += 0.25; });
+  Sensitive([](PipelineOptions &O) { O.Influence.Weights.W4 += 0.25; });
+  Sensitive([](PipelineOptions &O) { O.Influence.Weights.W5 += 0.25; });
+  Sensitive([](PipelineOptions &O) {
+    O.Influence.Weights.PaperFormulaThreadTerm =
+        !O.Influence.Weights.PaperFormulaThreadTerm;
+  });
+  Sensitive([](PipelineOptions &O) { O.Influence.ThreadLimit += 32; });
+  Sensitive([](PipelineOptions &O) { O.Influence.MaxScenarios += 1; });
+  Sensitive([](PipelineOptions &O) { O.Influence.MaxInnerDims += 1; });
+  Sensitive([](PipelineOptions &O) { O.Influence.MaxVectorWidth = 2; });
+  // GpuMappingOptions.
+  Sensitive([](PipelineOptions &O) { O.Mapping.MaxThreadsPerBlock = 256; });
+  // GpuModel: with a null Target every machine constant reaches the
+  // hash through the canonical gpu-analytic target section.
+  Sensitive([](PipelineOptions &O) { O.Gpu.WarpSize = 64; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.SectorBytes = 64; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.PeakBandwidthGBs += 1.0; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.IssueRateGops += 1.0; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.LaunchOverheadUs += 1.0; });
+  Sensitive(
+      [](PipelineOptions &O) { O.Gpu.OutstandingRequestsPerWarp += 1.0; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.HalfSaturationBytes += 1.0; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.MinEfficiency += 0.01; });
+  Sensitive([](PipelineOptions &O) { O.Gpu.NarrowAccessEfficiency += 0.01; });
+  // Target: a different backend, and a same-backend constant change.
+  Sensitive([](PipelineOptions &O) {
+    O.Target = target::makeBuiltinTarget("cpu-simd");
+  });
+  Sensitive([](PipelineOptions &O) {
+    auto T = std::make_shared<target::GpuAnalyticTarget>(O.Gpu);
+    T->setParam("PeakBandwidthGBs", 901.0);
+    O.Target = T;
+  });
+  // Validate + whole-operator budget.
+  Sensitive([](PipelineOptions &O) { O.Validate = true; });
+  Sensitive([](PipelineOptions &O) { O.Budget.MaxPivots = 9; });
+  Sensitive([](PipelineOptions &O) { O.Budget.MaxIlpNodes = 9; });
+  Sensitive([](PipelineOptions &O) { O.Budget.WallMs = 9.0; });
+
+  // Null-Target canonicalization: an explicit gpu-analytic target over
+  // the same machine model hashes identically to the default, so
+  // `--gpu=v100`, `--target=v100` and the defaults share cache entries.
+  PipelineOptions Canonical;
+  Canonical.Target =
+      std::make_shared<target::GpuAnalyticTarget>(Canonical.Gpu);
+  EXPECT_EQ(Base, fingerprintOptions(Canonical));
+  // The display name is not identity.
+  auto Named = std::make_shared<target::GpuAnalyticTarget>(GpuModel());
+  Named->rename("my-gpu");
+  PipelineOptions WithName;
+  WithName.Target = Named;
+  EXPECT_EQ(Base, fingerprintOptions(WithName));
+
+  // Excluded plumbing: Sink, Cache and Tuner do not change the result.
+  PipelineOptions Plumbing;
+  obs::ReportSink Sink;
+  ScheduleCache Cache;
+  Plumbing.Sink = &Sink;
+  Plumbing.Cache = &Cache;
+  EXPECT_EQ(Base, fingerprintOptions(Plumbing));
 }
 
 //===----------------------------------------------------------------------===//

@@ -14,6 +14,7 @@
 #include "obs/Metrics.h"
 #include "pipeline/Pipeline.h"
 #include "service/Fingerprint.h"
+#include "target/Target.h"
 #include "tune/Autotuner.h"
 #include "tune/Evaluator.h"
 #include "tune/SearchSpace.h"
@@ -724,6 +725,74 @@ TEST(GpuPresets, FasterGpuSimulatesFaster) {
   ASSERT_TRUE(std::isfinite(TimeV100));
   ASSERT_TRUE(std::isfinite(TimeA100));
   EXPECT_LT(TimeA100, TimeV100);
+}
+
+//===----------------------------------------------------------------------===//
+// Backend targets in the evaluator
+//===----------------------------------------------------------------------===//
+
+TEST(TargetScoring, EvaluatorFollowsOptionsTarget) {
+  Kernel K = makeElementwise(64, 256);
+  PipelineOptions Default;
+  PipelineOptions Explicit;
+  Explicit.Target = target::makeBuiltinTarget("v100");
+  PipelineOptions Cpu;
+  Cpu.Target = target::makeBuiltinTarget("cpu-simd");
+
+  // An explicit gpu-analytic target over the default machine model is
+  // the legacy path, bit for bit.
+  double Base = predictInflTimeUs(K, Default);
+  ASSERT_TRUE(std::isfinite(Base));
+  EXPECT_EQ(predictInflTimeUs(K, Explicit), Base);
+
+  // The cpu-simd backend scores the same schedule differently.
+  double CpuUs = predictInflTimeUs(K, Cpu);
+  ASSERT_TRUE(std::isfinite(CpuUs));
+  EXPECT_NE(CpuUs, Base);
+
+  // Scheduling is target-independent: the mapped kernel the evaluator
+  // builds plus the target's simulate reproduces its score exactly (the
+  // split tools/polyinject-calibrate relies on).
+  MappedKernel M;
+  ASSERT_TRUE(buildInflMappedKernel(K, Cpu, M));
+  EXPECT_DOUBLE_EQ(Cpu.Target->simulate(M).TimeUs, CpuUs);
+}
+
+TEST(TargetScoring, TunedWinnerRespectsTargetFingerprint) {
+  // One shared database: the same kernel tuned under two backends must
+  // produce two independent entries (the request fingerprint separates
+  // targets), each replayed on its own second call.
+  Kernel K = makeBadOrderCopy(32, 48);
+  auto Dir = freshDir("target-tune-db");
+  tune::TuningDb Db((Dir / "tune.db").string());
+
+  auto TuneUnder = [&](const PipelineOptions &Base, TunedConfig &Out) {
+    tune::Autotuner::Config Cfg;
+    Cfg.Strategy = "exhaustive";
+    Cfg.Space = tinySearchSpace();
+    Cfg.Db = &Db;
+    tune::Autotuner Tuner(std::move(Cfg));
+    PipelineOptions Tuned = Base;
+    return Tuner.tune(K, Tuned, Out);
+  };
+
+  PipelineOptions GpuBase;
+  PipelineOptions CpuBase;
+  CpuBase.Target = target::makeBuiltinTarget("cpu-simd");
+
+  TunedConfig GpuChosen, CpuChosen;
+  ASSERT_TRUE(TuneUnder(GpuBase, GpuChosen));
+  ASSERT_TRUE(TuneUnder(CpuBase, CpuChosen));
+  EXPECT_FALSE(GpuChosen.FromDb);
+  EXPECT_FALSE(CpuChosen.FromDb); // Distinct fingerprint: no aliasing.
+
+  TunedConfig GpuReplay, CpuReplay;
+  ASSERT_TRUE(TuneUnder(GpuBase, GpuReplay));
+  ASSERT_TRUE(TuneUnder(CpuBase, CpuReplay));
+  EXPECT_TRUE(GpuReplay.FromDb);
+  EXPECT_TRUE(CpuReplay.FromDb);
+  EXPECT_EQ(GpuReplay.Encoding, GpuChosen.Encoding);
+  EXPECT_EQ(CpuReplay.Encoding, CpuChosen.Encoding);
 }
 
 } // namespace

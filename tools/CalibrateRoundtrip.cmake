@@ -1,0 +1,130 @@
+# Exercises the target calibration harness end to end:
+#
+#   1. polyinject-calibrate --emit-table produces a synthetic measured
+#      table for the cpu-simd preset over the checked-in corpus.
+#   2. A fit starting from displaced constants (--init-scale=1.7) must
+#      recover every fitted constant within 5% of the generating preset
+#      (--ref/--check-tol) and write fit.ptgt.
+#   3. A second fit over the same table must write a byte-identical
+#      .ptgt (calibration is deterministic).
+#   4. polyinject-opt --target=fit.ptgt over the corpus twice must
+#      produce byte-identical stdout (the file round-trips into a
+#      working backend target).
+#   5. A version-bumped and a truncated .ptgt must both be refused with
+#      a diagnostic (non-zero exit), and an unknown --target name must
+#      list the available targets.
+#
+# Expected -D variables: CAL (polyinject-calibrate path), OPT
+# (polyinject-opt path), OPS (corpus list file), WORK (scratch dir).
+
+foreach(_var CAL OPT OPS WORK)
+  if(NOT DEFINED ${_var})
+    message(FATAL_ERROR "CalibrateRoundtrip.cmake needs -D${_var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+# 1. Synthetic measured table from the cpu-simd preset.
+execute_process(COMMAND ${CAL} --emit-table --target=cpu-simd
+                        --ops-file=${OPS} --tune-space=tiny
+                        --out=${WORK}/measured.tbl
+                OUTPUT_QUIET ERROR_VARIABLE _emit_err
+                RESULT_VARIABLE _emit_rc)
+if(NOT _emit_rc EQUAL 0)
+  message(FATAL_ERROR "table emission failed (${_emit_rc}):\n${_emit_err}")
+endif()
+
+# 2. Fit from displaced constants; require 5% recovery of the preset.
+execute_process(COMMAND ${CAL} --table=${WORK}/measured.tbl
+                        --kind=cpu-simd --init-scale=1.7
+                        --ref=cpu-simd --check-tol=0.05
+                        --out=${WORK}/fit.ptgt --name=fit
+                OUTPUT_VARIABLE _fit_out ERROR_VARIABLE _fit_err
+                RESULT_VARIABLE _fit_rc)
+if(NOT _fit_rc EQUAL 0)
+  message(FATAL_ERROR "calibration fit failed (${_fit_rc}):\n"
+                      "${_fit_out}${_fit_err}")
+endif()
+
+# 3. Refit: byte-identical .ptgt.
+execute_process(COMMAND ${CAL} --table=${WORK}/measured.tbl
+                        --kind=cpu-simd --init-scale=1.7
+                        --out=${WORK}/fit2.ptgt --name=fit
+                OUTPUT_QUIET ERROR_VARIABLE _fit2_err
+                RESULT_VARIABLE _fit2_rc)
+if(NOT _fit2_rc EQUAL 0)
+  message(FATAL_ERROR "second fit failed (${_fit2_rc}):\n${_fit2_err}")
+endif()
+file(READ ${WORK}/fit.ptgt _fit_a)
+file(READ ${WORK}/fit2.ptgt _fit_b)
+if(NOT _fit_a STREQUAL _fit_b)
+  message(FATAL_ERROR "two fits over the same table wrote different "
+                      ".ptgt files")
+endif()
+
+# 4. The fitted target scores the corpus byte-identically across runs.
+execute_process(COMMAND ${OPT} --target=${WORK}/fit.ptgt --config=infl
+                        --print=sim --ops-file=${OPS}
+                OUTPUT_VARIABLE _score_a ERROR_VARIABLE _score_a_err
+                RESULT_VARIABLE _score_a_rc)
+execute_process(COMMAND ${OPT} --target=${WORK}/fit.ptgt --config=infl
+                        --print=sim --ops-file=${OPS}
+                OUTPUT_VARIABLE _score_b ERROR_VARIABLE _score_b_err
+                RESULT_VARIABLE _score_b_rc)
+if(NOT _score_a_rc EQUAL 0 OR NOT _score_b_rc EQUAL 0)
+  message(FATAL_ERROR "scoring under fit.ptgt failed:\n"
+                      "${_score_a_err}${_score_b_err}")
+endif()
+if(_score_a STREQUAL "")
+  message(FATAL_ERROR "scoring under fit.ptgt printed nothing")
+endif()
+if(NOT _score_a STREQUAL _score_b)
+  message(FATAL_ERROR "re-scoring the corpus under fit.ptgt differed")
+endif()
+
+# 5a. Version-bumped file: refused.
+file(READ ${WORK}/fit.ptgt _ptgt_text)
+string(REPLACE "polyinject-target v1" "polyinject-target v9"
+       _bumped "${_ptgt_text}")
+file(WRITE ${WORK}/stale.ptgt "${_bumped}")
+execute_process(COMMAND ${OPT} --target=${WORK}/stale.ptgt --config=infl
+                        --print=sim --ops-file=${OPS}
+                OUTPUT_QUIET ERROR_VARIABLE _stale_err
+                RESULT_VARIABLE _stale_rc)
+if(_stale_rc EQUAL 0)
+  message(FATAL_ERROR "version-bumped .ptgt was accepted")
+endif()
+if(NOT _stale_err MATCHES "target")
+  message(FATAL_ERROR "stale .ptgt rejection lacks a diagnostic:\n"
+                      "${_stale_err}")
+endif()
+
+# 5b. Truncated file: refused.
+string(LENGTH "${_ptgt_text}" _len)
+math(EXPR _half "${_len} / 2")
+string(SUBSTRING "${_ptgt_text}" 0 ${_half} _truncated)
+file(WRITE ${WORK}/truncated.ptgt "${_truncated}")
+execute_process(COMMAND ${OPT} --target=${WORK}/truncated.ptgt
+                        --config=infl --print=sim --ops-file=${OPS}
+                OUTPUT_QUIET ERROR_VARIABLE _trunc_err
+                RESULT_VARIABLE _trunc_rc)
+if(_trunc_rc EQUAL 0)
+  message(FATAL_ERROR "truncated .ptgt was accepted")
+endif()
+
+# 5c. Unknown --target name: rejected with the available-target list.
+execute_process(COMMAND ${OPT} --target=no-such-target --config=infl
+                        --print=sim --ops-file=${OPS}
+                OUTPUT_QUIET ERROR_VARIABLE _unknown_err
+                RESULT_VARIABLE _unknown_rc)
+if(_unknown_rc EQUAL 0)
+  message(FATAL_ERROR "unknown --target was accepted")
+endif()
+if(NOT _unknown_err MATCHES "cpu-simd" OR NOT _unknown_err MATCHES "v100")
+  message(FATAL_ERROR "unknown --target diagnostic does not list the "
+                      "available targets:\n${_unknown_err}")
+endif()
+
+message(STATUS "calibrate roundtrip OK")

@@ -29,6 +29,11 @@
 //     --stats                           print the process metrics table
 //     --gpu=PRESET                      GPU model preset (v100, a100,
 //                                       p100; default v100)
+//     --target=NAME|FILE.ptgt           backend target: a built-in name
+//                                       (v100, a100, p100, cpu-simd) or
+//                                       a calibrated .ptgt file
+//                                       (polyinject-calibrate); for GPU
+//                                       presets identical to --gpu
 //
 // Autotuning (tune/Autotuner.h — search pipeline knobs against the
 // simulated cost model; never selects a config the model scores worse
@@ -87,6 +92,8 @@
 #include "service/BatchCompiler.h"
 #include "service/Cache.h"
 #include "support/Status.h"
+#include "target/GpuAnalyticTarget.h"
+#include "target/Target.h"
 #include "tune/Autotuner.h"
 
 #include <chrono>
@@ -112,7 +119,7 @@ void printUsage(const char *Argv0) {
       "[--feautrier] [--max-pivots=N] [--max-nodes=N] [--deadline-ms=X] "
       "[--trace-json=FILE] [--metrics-json=FILE] [--journal=FILE] "
       "[--metrics-exposition=FILE] [--metrics-interval-ms=N] [--stats] "
-      "[--gpu=PRESET] "
+      "[--gpu=PRESET] [--target=NAME|FILE.ptgt] "
       "[--autotune=exhaustive|greedy|anneal|surrogate] [--tune-budget=N] "
       "[--tune-seed=N] [--tune-space=default|tiny] [--tuning-db=FILE] "
       "[--tune-model=FILE] [--tune-topk=N] "
@@ -383,6 +390,7 @@ int main(int Argc, char **Argv) {
   std::string CacheDir;
   std::string OpsFilePath;
   std::string GpuPreset;
+  std::string TargetSpec;
   std::string AutotuneStrategy;
   std::string TuneSpaceName = "default";
   std::string TuningDbPath;
@@ -431,6 +439,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strncmp(Arg, "--gpu=", 6) == 0) {
       GpuPreset = Arg + 6;
+    } else if (std::strncmp(Arg, "--target=", 9) == 0) {
+      TargetSpec = Arg + 9;
     } else if (std::strncmp(Arg, "--autotune=", 11) == 0) {
       AutotuneStrategy = Arg + 11;
     } else if (std::strncmp(Arg, "--tune-budget=", 14) == 0) {
@@ -544,18 +554,35 @@ int main(int Argc, char **Argv) {
     Cache = std::make_unique<service::ScheduleCache>(CacheCfg);
   }
 
+  if (!GpuPreset.empty() && !TargetSpec.empty()) {
+    std::fprintf(stderr, "error: --gpu and --target are mutually "
+                         "exclusive (use --target=%s)\n",
+                 TargetSpec.c_str());
+    return 2;
+  }
+  // Both flags resolve through the target registry; --gpu=PRESET is the
+  // historical spelling of --target=PRESET. A resolved GPU-analytic
+  // target also sets Options.Gpu, so influence heuristics and anything
+  // else reading the machine model see the chosen preset.
   GpuModel Gpu;
-  if (!GpuPreset.empty()) {
-    std::optional<GpuModel> Preset = gpuModelPreset(GpuPreset);
-    if (!Preset) {
-      std::string Known;
-      for (const std::string &N : gpuModelPresetNames())
-        Known += (Known.empty() ? "" : ", ") + N;
-      std::fprintf(stderr, "error: unknown --gpu preset '%s' (known: %s)\n",
-                   GpuPreset.c_str(), Known.c_str());
-      return 2;
+  std::shared_ptr<const target::TargetModel> Target;
+  {
+    const bool FromTarget = !TargetSpec.empty();
+    const std::string &Spec = FromTarget ? TargetSpec : GpuPreset;
+    if (!Spec.empty()) {
+      std::string Err;
+      std::shared_ptr<target::TargetModel> T =
+          target::resolveTarget(Spec, &Err);
+      if (!T) {
+        std::fprintf(stderr, "error: %s: %s\n",
+                     FromTarget ? "--target" : "--gpu", Err.c_str());
+        return 2;
+      }
+      if (const auto *G =
+              dynamic_cast<const target::GpuAnalyticTarget *>(T.get()))
+        Gpu = G->model();
+      Target = std::move(T);
     }
-    Gpu = *Preset;
   }
 
   bool BatchMode = Paths.size() > 1 || !OpsFilePath.empty();
@@ -625,6 +652,7 @@ int main(int Argc, char **Argv) {
     Options.Sched.UseFeautrierFallback = Feautrier;
     Options.Budget = Budget;
     Options.Gpu = Gpu;
+    Options.Target = Target;
     Options.Cache = Cache.get();
     Options.Tuner = Tuner.get();
     int Rc = runBatch(Paths, Options, Jobs, Cache != nullptr, Artifacts,
@@ -665,6 +693,7 @@ int main(int Argc, char **Argv) {
   Options.Sched.UseFeautrierFallback = Feautrier;
   Options.Budget = Budget;
   Options.Gpu = Gpu;
+  Options.Target = Target;
   Options.Cache = Cache.get();
   Options.Tuner = Tuner.get();
   obs::ReportSink Sink;

@@ -23,7 +23,8 @@
 //                    [--out-dataset=FILE] [--eval-model=FILE]
 //                    [--folds=N] [--rounds=N] [--shrinkage=X] [--seed=N]
 //                    [--candidates=N] [--jobs=N]
-//                    [--tune-space=default|tiny] [kernel.pinj ...]
+//                    [--tune-space=default|tiny]
+//                    [--target=NAME|FILE.ptgt] [kernel.pinj ...]
 //
 //     --out-model=FILE     where the trained model lands (rename-atomic)
 //     --tuning-db=FILE     tuning database whose winners seed the samples
@@ -41,12 +42,21 @@
 //     --jobs=N             evaluator workers (sample values identical
 //                          for any count)
 //     --tune-space=NAME    space to sample ("default" or "tiny")
+//     --target=SPEC        backend target samples are scored under: a
+//                          built-in name (v100, a100, p100, cpu-simd)
+//                          or a calibrated .ptgt file. Datasets are
+//                          stamped with the target identity; mixing a
+//                          loaded dataset with a different --target is
+//                          an error (one surrogate approximates one
+//                          target's cost function).
 //
 //===----------------------------------------------------------------------===//
 
 #include "ir/Parser.h"
 #include "model/Dataset.h"
 #include "model/GbStumps.h"
+#include "target/GpuAnalyticTarget.h"
+#include "target/Target.h"
 #include "tune/SearchSpace.h"
 
 #include <algorithm>
@@ -73,7 +83,7 @@ void printUsage(const char *Argv0) {
       "[--dataset=FILE] [--out-dataset=FILE] [--eval-model=FILE] "
       "[--folds=N] [--rounds=N] [--shrinkage=X] [--seed=N] "
       "[--candidates=N] [--jobs=N] [--tune-space=default|tiny] "
-      "[kernel.pinj ...]\n",
+      "[--target=NAME|FILE.ptgt] [kernel.pinj ...]\n",
       Argv0);
 }
 
@@ -165,7 +175,7 @@ double spearman(const std::vector<double> &A, const std::vector<double> &B) {
 
 int main(int Argc, char **Argv) {
   std::string OutModelPath, TuningDbPath, OpsFilePath, DatasetPath;
-  std::string OutDatasetPath, EvalModelPath;
+  std::string OutDatasetPath, EvalModelPath, TargetSpec;
   std::string SpaceName = "default";
   unsigned Folds = 5;
   model::TrainConfig Train;
@@ -212,6 +222,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strncmp(Arg, "--tune-space=", 13) == 0) {
       SpaceName = Arg + 13;
+    } else if (std::strncmp(Arg, "--target=", 9) == 0) {
+      TargetSpec = Arg + 9;
     } else if (Arg[0] == '-') {
       printUsage(Argv[0]);
       return 2;
@@ -231,8 +243,25 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // The backend target samples are scored under (see src/target/).
+  PipelineOptions Base;
+  if (!TargetSpec.empty()) {
+    std::string Err;
+    std::shared_ptr<target::TargetModel> T =
+        target::resolveTarget(TargetSpec, &Err);
+    if (!T) {
+      std::fprintf(stderr, "error: --target: %s\n", Err.c_str());
+      return 2;
+    }
+    if (const auto *G =
+            dynamic_cast<const target::GpuAnalyticTarget *>(T.get()))
+      Base.Gpu = G->model();
+    Base.Target = std::move(T);
+  }
+
   // Assemble the dataset: load, build, or both (loaded samples must
-  // come from the same space shape the kernels are sampled under).
+  // come from the same space shape — and the same backend target —
+  // the kernels are sampled under).
   model::Dataset Data;
   if (!DatasetPath.empty()) {
     std::string Err;
@@ -247,12 +276,20 @@ int main(int Argc, char **Argv) {
                    DatasetPath.c_str(), SpaceName.c_str());
       return 1;
     }
+    if (Data.TargetId != target::targetIdForOptions(Base)) {
+      std::fprintf(stderr,
+                   "error: dataset %s was scored under target %s, not "
+                   "the requested %s — its times describe a different "
+                   "cost function\n",
+                   DatasetPath.c_str(), Data.TargetId.c_str(),
+                   target::targetIdForOptions(Base).c_str());
+      return 1;
+    }
   }
   if (!Paths.empty()) {
     std::unique_ptr<tune::TuningDb> Db;
     if (!TuningDbPath.empty())
       Db = std::make_unique<tune::TuningDb>(TuningDbPath);
-    PipelineOptions Base;
     for (const std::string &P : Paths) {
       Kernel K = loadKernelOrDie(P);
       std::size_t N =
